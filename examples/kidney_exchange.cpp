@@ -1,0 +1,85 @@
+// Kidney exchange on a one-sided network.
+//
+// The paper motivates the one-sided topology with kidney donation: privacy
+// rules prevent recipients (side L) from contacting each other directly,
+// while transplant centers (side R) are fully interconnected. Recipients
+// rank centers by compatibility score; centers rank recipients by urgency.
+//
+// We run the authenticated one-sided construction (signed relays through
+// the centers, Lemma 8 + Dolev-Strong) with one byzantine center that
+// garbles traffic and one recipient whose node crashes before starting.
+#include <iostream>
+
+#include "adversary/strategies.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/oracle.hpp"
+#include "core/runner.hpp"
+
+int main() {
+  using namespace bsm;
+  constexpr std::uint32_t kPairs = 4;  // recipients = L, centers = R
+  Rng rng(11);
+
+  core::RunSpec spec;
+  spec.config = {net::TopologyKind::OneSided, /*authenticated=*/true, kPairs,
+                 /*tl=*/1, /*tr=*/1};
+  std::cout << "Setting: " << spec.config.describe() << "\n"
+            << core::solvability_reason(spec.config) << "\n\n";
+
+  // Compatibility: recipients rank centers by HLA-mismatch score (lower is
+  // better); centers rank recipients by urgency (higher first).
+  std::vector<std::vector<std::uint32_t>> mismatch(kPairs, std::vector<std::uint32_t>(kPairs));
+  std::vector<std::uint32_t> urgency(kPairs);
+  for (std::uint32_t r = 0; r < kPairs; ++r) {
+    urgency[r] = static_cast<std::uint32_t>(rng.below(100));
+    for (std::uint32_t c = 0; c < kPairs; ++c) {
+      mismatch[r][c] = static_cast<std::uint32_t>(rng.below(6));
+    }
+  }
+
+  spec.inputs = matching::PreferenceProfile(kPairs);
+  for (std::uint32_t r = 0; r < kPairs; ++r) {
+    matching::PreferenceList order = side_members(Side::Right, kPairs);
+    std::stable_sort(order.begin(), order.end(), [&](PartyId a, PartyId b) {
+      return mismatch[r][side_index(a, kPairs)] < mismatch[r][side_index(b, kPairs)];
+    });
+    spec.inputs.set(r, std::move(order));
+  }
+  for (std::uint32_t c = 0; c < kPairs; ++c) {
+    matching::PreferenceList order = side_members(Side::Left, kPairs);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](PartyId a, PartyId b) { return urgency[a] > urgency[b]; });
+    spec.inputs.set(kPairs + c, std::move(order));
+  }
+
+  // Threat model: recipient 2's node never comes up; center 1 sprays
+  // garbage at everyone (its forwarded relay traffic still verifies or is
+  // dropped thanks to signatures).
+  spec.adversaries.push_back({2, 0, std::make_unique<adversary::Silent>()});
+  spec.adversaries.push_back({kPairs + 1, 0, std::make_unique<adversary::RandomNoise>(3, 6)});
+
+  const auto out = core::run_bsm(std::move(spec));
+
+  Table table({"recipient", "urgency", "center", "HLA mismatch", "status"});
+  for (std::uint32_t r = 0; r < kPairs; ++r) {
+    if (out.corrupt[r]) {
+      table.add_row({"R" + std::to_string(r), std::to_string(urgency[r]), "-", "-", "node down"});
+      continue;
+    }
+    const PartyId c = out.decisions[r].value_or(kNobody);
+    if (c == kNobody) {
+      table.add_row({"R" + std::to_string(r), std::to_string(urgency[r]), "none", "-", "waitlisted"});
+    } else {
+      table.add_row({"R" + std::to_string(r), std::to_string(urgency[r]),
+                     "C" + std::to_string(side_index(c, kPairs)),
+                     std::to_string(mismatch[r][side_index(c, kPairs)]),
+                     out.corrupt[c] ? "assigned (center later audited)" : "assigned"});
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Protocol: " << out.spec.describe() << " — " << out.rounds << " rounds, "
+            << out.traffic.messages << " messages\n";
+  std::cout << "bSM properties held: " << (out.report.all() ? "yes" : "NO") << "\n";
+  return out.report.all() ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Quickstart: solve byzantine stable matching among 3 + 3 parties in a
+// fully-connected authenticated network, with one byzantine party that
+// refuses to participate.
+//
+// Build & run:   ./build/examples/quickstart
+#include <iostream>
+
+#include "adversary/strategies.hpp"
+#include "common/table.hpp"
+#include "core/oracle.hpp"
+#include "core/runner.hpp"
+#include "matching/generators.hpp"
+
+int main() {
+  using namespace bsm;
+
+  // 1. Describe the setting: k parties per side, up to tL / tR byzantine.
+  core::BsmConfig cfg;
+  cfg.topology = net::TopologyKind::FullyConnected;
+  cfg.authenticated = true;  // PKI available
+  cfg.k = 3;
+  cfg.tl = 1;
+  cfg.tr = 1;
+
+  std::cout << "Setting: " << cfg.describe() << "\n";
+  std::cout << "Solvable per the paper? " << (core::solvable(cfg) ? "yes" : "no") << " — "
+            << core::solvability_reason(cfg) << "\n\n";
+
+  // 2. Give every party a preference list (here: random, seeded).
+  core::RunSpec spec;
+  spec.config = cfg;
+  spec.inputs = matching::random_profile(cfg.k, /*seed=*/2025);
+
+  // 3. Corrupt one left party: it simply never sends a message.
+  spec.adversaries.push_back({/*id=*/1, /*when=*/0, std::make_unique<adversary::Silent>()});
+
+  // 4. Run the protocol the factory selects for this setting and verify the
+  //    four bSM properties on the honest outputs.
+  const core::RunOutcome out = core::run_bsm(std::move(spec));
+
+  std::cout << "Protocol: " << out.spec.describe() << "\n";
+  std::cout << "Rounds: " << out.rounds << ", messages: " << out.traffic.messages
+            << ", bytes: " << out.traffic.bytes << "\n\n";
+
+  Table table({"party", "side", "status", "matched with"});
+  for (PartyId id = 0; id < cfg.n(); ++id) {
+    std::string status = out.corrupt[id] ? "byzantine" : "honest";
+    std::string match = "-";
+    if (!out.corrupt[id] && out.decisions[id].has_value()) {
+      match = *out.decisions[id] == kNobody ? "nobody" : "P" + std::to_string(*out.decisions[id]);
+    }
+    table.add_row({"P" + std::to_string(id), id < cfg.k ? "L" : "R", status, match});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "Properties: termination=" << out.report.termination
+            << " symmetry=" << out.report.symmetry << " stability=" << out.report.stability
+            << " non-competition=" << out.report.non_competition << "\n";
+  return out.report.all() ? 0 : 1;
+}

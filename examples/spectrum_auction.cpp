@@ -1,0 +1,95 @@
+// Spectrum assignment without cryptography: secondary users x uplink
+// carriers in a *bipartite unauthenticated* network.
+//
+// Radio scenarios ([3], [7] in the paper) pair users with carriers via
+// distributed stable matching; cheap sensors have no PKI, and users can
+// only talk to carriers (and vice versa) — the bipartite topology. The
+// paper's Theorem 3 says this tolerates tL, tR < k/2 with tL < k/3 or
+// tR < k/3; the construction relays same-side traffic through the opposite
+// side with majority voting (Lemma 6) and agrees on preferences with the
+// general-adversary phase-king broadcast (Lemma 4).
+//
+// Threat model here: one jammed user equivocates (split-brain) and one
+// carrier lies about its load ranking.
+#include <iostream>
+
+#include "adversary/shims.hpp"
+#include "adversary/strategies.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/oracle.hpp"
+#include "core/runner.hpp"
+
+int main() {
+  using namespace bsm;
+  constexpr std::uint32_t kUsers = 4;  // users = L, carriers = R
+  Rng rng(23);
+
+  core::RunSpec spec;
+  spec.config = {net::TopologyKind::Bipartite, /*authenticated=*/false, kUsers,
+                 /*tl=*/1, /*tr=*/1};
+  std::cout << "Setting: " << spec.config.describe() << "\n"
+            << core::solvability_reason(spec.config) << "\n\n";
+
+  // Users rank carriers by SNR; carriers rank users by offered price.
+  std::vector<std::vector<std::uint32_t>> snr(kUsers, std::vector<std::uint32_t>(kUsers));
+  std::vector<std::vector<std::uint32_t>> price(kUsers, std::vector<std::uint32_t>(kUsers));
+  for (std::uint32_t u = 0; u < kUsers; ++u) {
+    for (std::uint32_t c = 0; c < kUsers; ++c) {
+      snr[u][c] = static_cast<std::uint32_t>(rng.below(40));
+      price[c][u] = static_cast<std::uint32_t>(rng.below(100));
+    }
+  }
+  spec.inputs = matching::PreferenceProfile(kUsers);
+  for (std::uint32_t u = 0; u < kUsers; ++u) {
+    matching::PreferenceList order = side_members(Side::Right, kUsers);
+    std::stable_sort(order.begin(), order.end(), [&](PartyId a, PartyId b) {
+      return snr[u][side_index(a, kUsers)] > snr[u][side_index(b, kUsers)];
+    });
+    spec.inputs.set(u, std::move(order));
+  }
+  for (std::uint32_t c = 0; c < kUsers; ++c) {
+    matching::PreferenceList order = side_members(Side::Left, kUsers);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](PartyId a, PartyId b) { return price[c][a] > price[c][b]; });
+    spec.inputs.set(kUsers + c, std::move(order));
+  }
+
+  // User 3 is jammed/compromised: it tells half the network one ranking and
+  // the other half the reverse. Carrier 2 lies about its load.
+  const auto spec_proto = *core::resolve_protocol(spec.config);
+  auto reversed = spec.inputs.list(3);
+  std::reverse(reversed.begin(), reversed.end());
+  spec.adversaries.push_back(
+      {3, 0,
+       std::make_unique<adversary::SplitBrain>(
+           core::make_bsm_process(spec.config, spec_proto, 3, spec.inputs.list(3)),
+           core::make_bsm_process(spec.config, spec_proto, 3, reversed),
+           [](PartyId p) { return static_cast<int>(p % 2); })});
+  spec.adversaries.push_back(
+      {kUsers + 2, 0,
+       core::honest_process_for(spec, kUsers + 2,
+                                matching::default_preference_list(Side::Right, kUsers))});
+
+  const auto out = core::run_bsm(std::move(spec));
+
+  Table table({"user", "carrier", "SNR (dB)", "status"});
+  for (std::uint32_t u = 0; u < kUsers; ++u) {
+    if (out.corrupt[u]) {
+      table.add_row({"U" + std::to_string(u), "-", "-", "jammed (byzantine)"});
+      continue;
+    }
+    const PartyId c = out.decisions[u].value_or(kNobody);
+    if (c == kNobody) {
+      table.add_row({"U" + std::to_string(u), "none", "-", "unassigned"});
+    } else {
+      table.add_row({"U" + std::to_string(u), "C" + std::to_string(side_index(c, kUsers)),
+                     std::to_string(snr[u][side_index(c, kUsers)]), "assigned"});
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Protocol: " << out.spec.describe() << " — " << out.rounds << " rounds, "
+            << out.traffic.messages << " messages (no signatures anywhere)\n";
+  std::cout << "bSM properties held: " << (out.report.all() ? "yes" : "NO") << "\n";
+  return out.report.all() ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Executable versions of the paper's impossibility constructions.
+//
+// Each builder returns ready-to-run RunSpecs:
+//  - `attack`: the out-of-threshold setting, with the proof's adversary;
+//    running it must break at least one bSM property (the experiments
+//    assert which one).
+//  - `in_region`: the *same adversarial style* one corruption inside the
+//    solvable region; the protocol must shrug it off. Together the pair
+//    exhibits the exact threshold the theorem claims.
+//  - Lemma 13 additionally ships the two crash scenarios of the proof;
+//    party a (resp. c) provably cannot distinguish the attack from its
+//    baseline, which the experiment checks by comparing view hashes.
+#pragma once
+
+#include <string>
+
+#include "core/runner.hpp"
+
+namespace bsm::adversary {
+
+/// Lemma 5 / Figure 2 — fully-connected, unauthenticated, k = 3,
+/// tL = tR = 1 (Q3 fails). Byzantine b and v jointly split the honest
+/// parties into two worlds; a and c both end up matching v.
+struct Lemma5Artifacts {
+  core::RunSpec attack;     ///< expected: non-competition violated
+  core::RunSpec in_region;  ///< tL = 0, tR = 1: same attack style, must hold
+  PartyId a = 0, c = 2, v = 4;
+};
+[[nodiscard]] Lemma5Artifacts build_lemma5();
+
+/// Lemma 7 / Figure 3 — one-sided, unauthenticated, k = 2, tL = 0, tR = 1
+/// (relay majority fails). Byzantine d splits the disconnected side L.
+struct Lemma7Artifacts {
+  core::RunSpec attack;     ///< expected: non-competition or symmetry violated
+  core::RunSpec in_region;  ///< k = 3, tR = 1 < k/2: same attack, must hold
+  PartyId a = 0, b = 1, d = 3;
+};
+[[nodiscard]] Lemma7Artifacts build_lemma7();
+
+/// Lemma 13 / Figure 4 — one-sided, authenticated, tR = k = 3, tL = 1 >=
+/// k/3. All of R plus b partition {a} and {c} into simulated sub-systems;
+/// both a and c match the byzantine v.
+struct Lemma13Artifacts {
+  core::RunSpec attack;      ///< expected: non-competition violated (a, c -> v)
+  core::RunSpec baseline_a;  ///< all honest but a crashed... c crashed; a must match v
+  core::RunSpec baseline_c;  ///< a crashed; c must match v
+  core::RunSpec in_region;   ///< tL = 0, tR = k: Pi_bSM must hold (Theorem 7)
+  PartyId a = 0, b = 1, c = 2, v = 4;
+};
+[[nodiscard]] Lemma13Artifacts build_lemma13();
+
+}  // namespace bsm::adversary

@@ -1,0 +1,43 @@
+// Byzantine broadcast as "sender disseminates, everyone agrees" (paper
+// Pi_BB, Appendix A.6; also the BB of Lemma 4 when instantiated with the
+// product-structure agreement).
+//
+// Step 0: the designated sender sends its value to all participants.
+// Step 1+: every participant joins the underlying agreement with the value
+// it received (or the publicly known default), and outputs its result.
+// Validity follows from the agreement's validity when the sender is
+// honest; consistency from agreement; weak agreement under omissions is
+// inherited from OmissionBA.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "broadcast/instance.hpp"
+
+namespace bsm::broadcast {
+
+class BBviaBA final : public Instance {
+ public:
+  /// Builds the agreement instance once the input is known at step 1.
+  using BaFactory = std::function<std::unique_ptr<Instance>(Bytes input)>;
+
+  /// `ba_duration` must equal the duration of instances the factory makes
+  /// (durations are publicly known protocol constants).
+  BBviaBA(PartyId sender, Bytes input_if_sender, Bytes default_value, std::uint32_t ba_duration,
+          BaFactory factory);
+
+  void step(InstanceIo& io, std::uint32_t s, const std::vector<net::AppMsg>& inbox) override;
+
+  [[nodiscard]] std::uint32_t duration() const override { return 1 + ba_duration_; }
+
+ private:
+  PartyId sender_;
+  Bytes input_;
+  Bytes default_value_;
+  std::uint32_t ba_duration_;
+  BaFactory factory_;
+  std::unique_ptr<Instance> ba_;
+};
+
+}  // namespace bsm::broadcast

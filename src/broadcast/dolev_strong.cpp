@@ -1,0 +1,118 @@
+#include "broadcast/dolev_strong.hpp"
+
+#include <algorithm>
+
+#include "broadcast/wire.hpp"
+
+namespace bsm::broadcast {
+
+namespace {
+
+struct ChainMsg {
+  Bytes value;
+  std::vector<PartyId> signers;
+  std::vector<crypto::Signature> sigs;
+};
+
+[[nodiscard]] Bytes encode_chain(const Bytes& value, const std::vector<PartyId>& signers,
+                                 const std::vector<crypto::Signature>& sigs) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::Chain));
+  w.bytes(value);
+  w.u32(static_cast<std::uint32_t>(signers.size()));
+  for (std::size_t i = 0; i < signers.size(); ++i) {
+    w.u32(signers[i]);
+    sigs[i].encode(w);
+  }
+  return w.take();
+}
+
+[[nodiscard]] std::optional<ChainMsg> decode_chain(const Bytes& body) {
+  Reader r(body);
+  if (r.u8() != static_cast<std::uint8_t>(MsgKind::Chain)) return std::nullopt;
+  ChainMsg m;
+  m.value = r.bytes();
+  const std::uint32_t len = r.u32();
+  if (!r.ok() || len > 4096) return std::nullopt;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    m.signers.push_back(r.u32());
+    m.sigs.push_back(crypto::Signature::decode(r));
+  }
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace
+
+DolevStrong::DolevStrong(PartyId sender, std::uint32_t t, Bytes input_if_sender)
+    : sender_(sender), t_(t), input_(std::move(input_if_sender)) {}
+
+Bytes DolevStrong::chain_digest(std::uint32_t channel, const Bytes& value,
+                                const std::vector<PartyId>& prior_signers) {
+  Writer w;
+  w.str("dolev-strong");
+  w.u32(channel);
+  w.bytes(value);
+  w.u32_vec(prior_signers);
+  return w.take();
+}
+
+void DolevStrong::step(InstanceIo& io, std::uint32_t s, const std::vector<net::AppMsg>& inbox) {
+  const auto& participants = io.participants();
+  const auto is_participant = [&](PartyId p) {
+    return std::find(participants.begin(), participants.end(), p) != participants.end();
+  };
+
+  if (s == 0) {
+    if (io.self() == sender_) {
+      extracted_.insert(input_);
+      const auto sig = io.signer().sign(chain_digest(io.channel(), input_, {}));
+      io.broadcast(encode_chain(input_, {sender_}, {sig}));
+    }
+    return;
+  }
+
+  for (const auto& msg : inbox) {
+    if (extracted_.size() >= 2) break;  // equivocation already proven
+    auto chain = decode_chain(msg.body);
+    if (!chain) continue;
+    // A chain is valid at step s iff it has >= s distinct participant
+    // signatures starting with the sender's, each over the right digest.
+    if (chain->signers.size() < s) continue;
+    if (chain->signers.front() != sender_) continue;
+    std::set<PartyId> distinct;
+    bool valid = true;
+    for (std::size_t j = 0; j < chain->signers.size() && valid; ++j) {
+      const PartyId signer = chain->signers[j];
+      if (!is_participant(signer) || distinct.contains(signer)) {
+        valid = false;
+        break;
+      }
+      distinct.insert(signer);
+      const std::vector<PartyId> prior(chain->signers.begin(),
+                                       chain->signers.begin() + static_cast<std::ptrdiff_t>(j));
+      valid = io.pki().verify(signer, chain_digest(io.channel(), chain->value, prior),
+                              chain->sigs[j]);
+    }
+    if (!valid || extracted_.contains(chain->value)) continue;
+
+    extracted_.insert(chain->value);
+    if (s <= t_ && !distinct.contains(io.self())) {
+      auto signers = chain->signers;
+      auto sigs = chain->sigs;
+      sigs.push_back(io.signer().sign(chain_digest(io.channel(), chain->value, signers)));
+      signers.push_back(io.self());
+      io.broadcast(encode_chain(chain->value, signers, sigs));
+    }
+  }
+
+  if (s == duration()) {
+    if (extracted_.size() == 1) {
+      decide(*extracted_.begin());
+    } else {
+      decide(std::nullopt);  // no value, or a provably equivocating sender
+    }
+  }
+}
+
+}  // namespace bsm::broadcast

@@ -1,0 +1,42 @@
+// Dolev-Strong authenticated byzantine broadcast, resilient against any
+// t < n corruptions given PKI (paper Theorem 5 relies on it).
+//
+// The sender signs its value; a value is accepted at step s only when it
+// carries s valid signatures from distinct participants beginning with the
+// sender's. Newly accepted values are countersigned and relayed until step
+// t. After step t+1 a party decides the unique accepted value, or bottom if
+// it saw zero or several (a provably equivocating sender).
+//
+// Signatures bind (channel, value, prefix of signers), so chains cannot be
+// replayed across concurrently running broadcast instances.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "broadcast/instance.hpp"
+#include "crypto/pki.hpp"
+
+namespace bsm::broadcast {
+
+class DolevStrong final : public Instance {
+ public:
+  DolevStrong(PartyId sender, std::uint32_t t, Bytes input_if_sender);
+
+  void step(InstanceIo& io, std::uint32_t s, const std::vector<net::AppMsg>& inbox) override;
+
+  /// Decides at step t + 1.
+  [[nodiscard]] std::uint32_t duration() const override { return t_ + 1; }
+
+ private:
+  /// Digest signed by the j-th chain member: the value plus all prior signers.
+  [[nodiscard]] static Bytes chain_digest(std::uint32_t channel, const Bytes& value,
+                                          const std::vector<PartyId>& prior_signers);
+
+  PartyId sender_;
+  std::uint32_t t_;
+  Bytes input_;
+  std::set<Bytes> extracted_;
+};
+
+}  // namespace bsm::broadcast

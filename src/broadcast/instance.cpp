@@ -1,0 +1,112 @@
+#include "broadcast/instance.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace bsm::broadcast {
+
+InstanceIo::InstanceIo(InstanceHub& hub, net::Context& ctx, std::uint32_t channel,
+                       const std::vector<PartyId>& participants)
+    : hub_(&hub), ctx_(&ctx), channel_(channel), participants_(&participants) {}
+
+void InstanceIo::send(PartyId to, const Bytes& inner) {
+  hub_->send_on_channel(*ctx_, channel_, to, inner);
+}
+
+void InstanceIo::broadcast(const Bytes& inner) {
+  for (PartyId p : *participants_) hub_->send_on_channel(*ctx_, channel_, p, inner);
+}
+
+PartyId InstanceIo::self() const { return ctx_->self(); }
+const crypto::Signer& InstanceIo::signer() const { return ctx_->signer(); }
+const crypto::Pki& InstanceIo::pki() const { return ctx_->pki(); }
+
+InstanceHub::InstanceHub(net::RelayMode mode, std::uint32_t stride)
+    : router_(mode), stride_(stride) {
+  require(stride >= 1, "InstanceHub: stride must be positive");
+}
+
+void InstanceHub::add_instance(std::uint32_t channel, Round base,
+                               std::vector<PartyId> participants,
+                               std::unique_ptr<Instance> instance) {
+  require(instance != nullptr, "InstanceHub::add_instance: null instance");
+  require(!entries_.contains(channel) && !mailboxes_.contains(channel),
+          "InstanceHub::add_instance: duplicate channel");
+  entries_.emplace(channel,
+                   Entry{base, std::move(participants), std::move(instance), {}});
+}
+
+void InstanceHub::add_mailbox(std::uint32_t channel) {
+  require(!entries_.contains(channel) && !mailboxes_.contains(channel),
+          "InstanceHub::add_mailbox: duplicate channel");
+  mailboxes_.emplace(channel, std::vector<net::AppMsg>{});
+}
+
+std::vector<net::AppMsg> InstanceHub::take_mailbox(std::uint32_t channel) {
+  auto it = mailboxes_.find(channel);
+  require(it != mailboxes_.end(), "InstanceHub::take_mailbox: unknown mailbox");
+  return std::exchange(it->second, {});
+}
+
+void InstanceHub::send_on_channel(net::Context& ctx, std::uint32_t channel, PartyId to,
+                                  const Bytes& inner) {
+  Writer w;
+  w.u32(channel);
+  w.bytes(inner);
+  router_.send(ctx, to, w.data());
+}
+
+void InstanceHub::send_raw(net::Context& ctx, std::uint32_t channel, PartyId to,
+                           const Bytes& body) {
+  send_on_channel(ctx, channel, to, body);
+}
+
+void InstanceHub::ingest(net::Context& ctx, const std::vector<net::Envelope>& inbox) {
+  for (net::AppMsg& msg : router_.route(ctx, inbox)) {
+    Reader r(msg.body);
+    const std::uint32_t channel = r.u32();
+    Bytes inner = r.bytes();
+    if (!r.done()) continue;  // malformed frame: drop
+
+    if (auto it = entries_.find(channel); it != entries_.end()) {
+      // Only participants may speak on an instance's channel.
+      const auto& parts = it->second.participants;
+      if (std::find(parts.begin(), parts.end(), msg.from) == parts.end()) continue;
+      it->second.buffer.push_back(net::AppMsg{msg.from, std::move(inner)});
+    } else if (auto mb = mailboxes_.find(channel); mb != mailboxes_.end()) {
+      mb->second.push_back(net::AppMsg{msg.from, std::move(inner)});
+    }
+    // Unknown channel: drop.
+  }
+}
+
+void InstanceHub::step_due(net::Context& ctx) {
+  const Round now = ctx.round();
+  for (auto& [channel, entry] : entries_) {
+    if (now < entry.base || (now - entry.base) % stride_ != 0) continue;
+    const std::uint32_t s = (now - entry.base) / stride_;
+    std::vector<net::AppMsg> inbox = std::exchange(entry.buffer, {});
+    if (entry.instance->done() || s > entry.instance->duration()) continue;
+    InstanceIo io(*this, ctx, channel, entry.participants);
+    entry.instance->step(io, s, inbox);
+  }
+}
+
+bool InstanceHub::all_done() const {
+  return std::all_of(entries_.begin(), entries_.end(),
+                     [](const auto& kv) { return kv.second.instance->done(); });
+}
+
+Instance& InstanceHub::instance(std::uint32_t channel) {
+  auto it = entries_.find(channel);
+  require(it != entries_.end(), "InstanceHub::instance: unknown channel");
+  return *it->second.instance;
+}
+
+const Instance& InstanceHub::instance(std::uint32_t channel) const {
+  auto it = entries_.find(channel);
+  require(it != entries_.end(), "InstanceHub::instance: unknown channel");
+  return *it->second.instance;
+}
+
+}  // namespace bsm::broadcast

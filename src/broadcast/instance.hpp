@@ -1,0 +1,132 @@
+// Multiplexing of many concurrent protocol instances over one party's
+// physical channels.
+//
+// A bSM run executes up to 2k broadcast/agreement instances at once (one
+// per sender, plus control traffic). Each instance is a round-driven state
+// machine advancing in *protocol steps*; the hub maps protocol steps onto
+// engine rounds with a configurable `stride`:
+//   stride 1 — every channel is physical (delay Delta);
+//   stride 2 — some channels are simulated through relays (delay 2 * Delta),
+//              so one protocol step spans two engine rounds, exactly the
+//              paper's "Pi_BA/Pi_BB with delay 2 * Delta".
+// Outgoing instance messages carry a u32 channel header; the hub buffers
+// arrivals between steps and hands each instance, at step s, precisely the
+// messages its peers sent at step s-1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/types.hpp"
+#include "net/process.hpp"
+#include "net/relay.hpp"
+
+namespace bsm::broadcast {
+
+class InstanceHub;
+
+/// Per-step services offered to an instance.
+class InstanceIo {
+ public:
+  InstanceIo(InstanceHub& hub, net::Context& ctx, std::uint32_t channel,
+             const std::vector<PartyId>& participants);
+
+  /// Send to one participant (virtual channels transparently relayed).
+  void send(PartyId to, const Bytes& inner);
+  /// Send to every participant, self included.
+  void broadcast(const Bytes& inner);
+
+  [[nodiscard]] PartyId self() const;
+  [[nodiscard]] const std::vector<PartyId>& participants() const { return *participants_; }
+  [[nodiscard]] std::uint32_t channel() const noexcept { return channel_; }
+  [[nodiscard]] const crypto::Signer& signer() const;
+  [[nodiscard]] const crypto::Pki& pki() const;
+
+ private:
+  InstanceHub* hub_;
+  net::Context* ctx_;
+  std::uint32_t channel_;
+  const std::vector<PartyId>* participants_;
+};
+
+/// A protocol-step state machine with a fixed, publicly known duration.
+class Instance {
+ public:
+  virtual ~Instance() = default;
+
+  /// Called once per protocol step s = 0, 1, ..., duration(); `inbox` holds
+  /// the instance's messages that arrived since the previous step.
+  virtual void step(InstanceIo& io, std::uint32_t s, const std::vector<net::AppMsg>& inbox) = 0;
+
+  /// The step index at which this instance decides (inclusive).
+  [[nodiscard]] virtual std::uint32_t duration() const = 0;
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  /// Decided value; std::nullopt encodes bottom. Valid once done().
+  [[nodiscard]] const std::optional<Bytes>& output() const noexcept { return output_; }
+
+ protected:
+  void decide(std::optional<Bytes> v) {
+    output_ = std::move(v);
+    done_ = true;
+  }
+
+ private:
+  bool done_ = false;
+  std::optional<Bytes> output_;
+};
+
+class InstanceHub {
+ public:
+  InstanceHub(net::RelayMode mode, std::uint32_t stride);
+
+  /// Register an instance whose step 0 runs at engine round `base`. Only
+  /// messages from `participants` are delivered to it.
+  void add_instance(std::uint32_t channel, Round base, std::vector<PartyId> participants,
+                    std::unique_ptr<Instance> instance);
+
+  /// Register a raw mailbox (control traffic outside any instance).
+  void add_mailbox(std::uint32_t channel);
+  [[nodiscard]] std::vector<net::AppMsg> take_mailbox(std::uint32_t channel);
+
+  /// Round phase 1: route the physical inbox, buffer per channel.
+  void ingest(net::Context& ctx, const std::vector<net::Envelope>& inbox);
+  /// Round phase 2: step every instance due at the current round.
+  void step_due(net::Context& ctx);
+
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] Instance& instance(std::uint32_t channel);
+  [[nodiscard]] const Instance& instance(std::uint32_t channel) const;
+  [[nodiscard]] net::RelayRouter& router() noexcept { return router_; }
+  [[nodiscard]] std::uint32_t stride() const noexcept { return stride_; }
+
+  /// Send control traffic on a raw channel.
+  void send_raw(net::Context& ctx, std::uint32_t channel, PartyId to, const Bytes& body);
+
+  /// Engine round at which an instance with the given base reaches step s.
+  [[nodiscard]] Round round_of_step(Round base, std::uint32_t s) const {
+    return base + s * stride_;
+  }
+
+ private:
+  friend class InstanceIo;
+  void send_on_channel(net::Context& ctx, std::uint32_t channel, PartyId to, const Bytes& inner);
+
+  struct Entry {
+    Round base = 0;
+    std::vector<PartyId> participants;
+    std::unique_ptr<Instance> instance;
+    std::vector<net::AppMsg> buffer;
+  };
+
+  net::RelayRouter router_;
+  std::uint32_t stride_;
+  std::map<std::uint32_t, Entry> entries_;
+  std::map<std::uint32_t, std::vector<net::AppMsg>> mailboxes_;
+};
+
+}  // namespace bsm::broadcast

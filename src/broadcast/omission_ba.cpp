@@ -1,0 +1,42 @@
+#include "broadcast/omission_ba.hpp"
+
+#include <map>
+
+#include "broadcast/wire.hpp"
+
+namespace bsm::broadcast {
+
+OmissionBA::OmissionBA(Bytes input, std::shared_ptr<const Quorums> quorums)
+    : inner_(std::move(input), quorums), quorums_(std::move(quorums)) {}
+
+void OmissionBA::step(InstanceIo& io, std::uint32_t s, const std::vector<net::AppMsg>& inbox) {
+  if (s <= inner_.duration()) {
+    inner_.step(io, s, inbox);
+    if (s == inner_.duration()) {
+      // Inner Pi_King just decided; echo its output to everyone.
+      require(inner_.done() && inner_.output().has_value(),
+              "OmissionBA: inner phase-king must decide a value");
+      io.broadcast(encode_kv(MsgKind::Final, *inner_.output()));
+    }
+    return;
+  }
+
+  // Closing step: accept z iff the non-echoers could all be corrupt.
+  std::map<Bytes, std::set<PartyId>> by_value;
+  std::set<PartyId> seen;
+  for (const auto& msg : inbox) {
+    const auto kv = decode_kv(msg.body);
+    if (!kv || kv->kind != MsgKind::Final || seen.contains(msg.from)) continue;
+    seen.insert(msg.from);
+    by_value[kv->value].insert(msg.from);
+  }
+  for (const auto& [value, senders] : by_value) {
+    if (quorums_->complement_corruptible(senders)) {
+      decide(value);
+      return;
+    }
+  }
+  decide(std::nullopt);  // bottom
+}
+
+}  // namespace bsm::broadcast

@@ -1,0 +1,32 @@
+// Pi_BA (paper Appendix A.6): phase-king agreement plus one closing echo
+// round that upgrades it to *weak agreement under omissions*.
+//
+// After the inner Pi_King decides y, every party echoes y; a party outputs
+// z only if it received z from a set of participants whose complement could
+// be entirely corrupt (the threshold instantiation: >= k - t parties), and
+// outputs bottom otherwise. Without omissions this is full BA; with
+// omissions it still terminates on schedule and any two non-bottom outputs
+// are equal.
+#pragma once
+
+#include <memory>
+
+#include "broadcast/phase_king.hpp"
+
+namespace bsm::broadcast {
+
+class OmissionBA final : public Instance {
+ public:
+  OmissionBA(Bytes input, std::shared_ptr<const Quorums> quorums);
+
+  void step(InstanceIo& io, std::uint32_t s, const std::vector<net::AppMsg>& inbox) override;
+
+  /// Delta_BA = Delta_King + 1 protocol step.
+  [[nodiscard]] std::uint32_t duration() const override { return inner_.duration() + 1; }
+
+ private:
+  PhaseKingBA inner_;
+  std::shared_ptr<const Quorums> quorums_;
+};
+
+}  // namespace bsm::broadcast

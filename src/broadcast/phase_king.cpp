@@ -1,0 +1,90 @@
+#include "broadcast/phase_king.hpp"
+
+#include <map>
+
+#include "broadcast/wire.hpp"
+
+namespace bsm::broadcast {
+
+namespace {
+
+/// Group same-kind messages by value, deduplicating senders (a byzantine
+/// party's first message of the kind is the one that counts).
+[[nodiscard]] std::map<Bytes, std::set<PartyId>> tally(const std::vector<net::AppMsg>& inbox,
+                                                       MsgKind kind) {
+  std::map<Bytes, std::set<PartyId>> by_value;
+  std::set<PartyId> seen;
+  for (const auto& msg : inbox) {
+    const auto kv = decode_kv(msg.body);
+    if (!kv || kv->kind != kind || seen.contains(msg.from)) continue;
+    seen.insert(msg.from);
+    by_value[kv->value].insert(msg.from);
+  }
+  return by_value;
+}
+
+}  // namespace
+
+PhaseKingBA::PhaseKingBA(Bytes input, std::shared_ptr<const Quorums> quorums)
+    : v_(std::move(input)), quorums_(std::move(quorums)) {
+  require(quorums_ != nullptr, "PhaseKingBA: quorums required");
+}
+
+PartyId PhaseKingBA::king_of(const std::vector<PartyId>& participants, std::uint32_t phase) {
+  require(!participants.empty(), "PhaseKingBA: no participants");
+  return participants[phase % participants.size()];
+}
+
+void PhaseKingBA::step(InstanceIo& io, std::uint32_t s, const std::vector<net::AppMsg>& inbox) {
+  const std::uint32_t sub = s % 3;
+
+  if (sub == 0) {
+    if (s > 0) {
+      // Apply the previous phase's king value if our own support was weak.
+      const PartyId king = king_of(io.participants(), s / 3 - 1);
+      for (const auto& msg : inbox) {
+        if (msg.from != king) continue;
+        const auto kv = decode_kv(msg.body);
+        if (!kv || kv->kind != MsgKind::King) continue;
+        if (!strong_) v_ = kv->value;
+        break;
+      }
+      // A missing king message (omission, or silent byzantine king) leaves
+      // v_ unchanged — the protocol still terminates on schedule.
+    }
+    if (s == duration()) {
+      decide(v_);
+      return;
+    }
+    io.broadcast(encode_kv(MsgKind::Value, v_));
+    return;
+  }
+
+  if (sub == 1) {
+    // Propose the (unique, given the quorum condition) value whose senders'
+    // complement could be entirely corrupt.
+    for (const auto& [value, senders] : tally(inbox, MsgKind::Value)) {
+      if (quorums_->complement_corruptible(senders)) {
+        io.broadcast(encode_kv(MsgKind::Propose, value));
+        break;
+      }
+    }
+    return;
+  }
+
+  // sub == 2: adopt a proposal that must include an honest proposer; note
+  // whether its support was strong enough to ignore the king.
+  strong_ = false;
+  for (const auto& [value, proposers] : tally(inbox, MsgKind::Propose)) {
+    if (quorums_->has_honest(proposers)) {
+      v_ = value;
+      strong_ = quorums_->complement_corruptible(proposers);
+      break;
+    }
+  }
+  if (io.self() == king_of(io.participants(), s / 3)) {
+    io.broadcast(encode_kv(MsgKind::King, v_));
+  }
+}
+
+}  // namespace bsm::broadcast

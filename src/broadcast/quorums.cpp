@@ -1,0 +1,6 @@
+#include "broadcast/quorums.hpp"
+
+// All quorum logic is inline in the header; this translation unit anchors
+// the vtable of Quorums.
+
+namespace bsm::broadcast {}

@@ -1,0 +1,91 @@
+// Quorum predicates abstracting over the adversary structure.
+//
+// Classic phase-king thresholds ("received from >= k - t parties", "more
+// than t proposals") generalize to an arbitrary adversary structure Z:
+//   received from >= k - t    ->   complement of the senders lies in Z
+//   more than t               ->   the senders cannot all be corrupt
+// The paper needs exactly two structures: the plain threshold structure
+// within one side (Pi_King, t_L < k/3) and the product structure
+// Z* = { S : |S intersect L| <= tL and |S intersect R| <= tR } used by the
+// general-adversary broadcast of Lemma 4 (via Fitzi-Maurer). Z* satisfies
+// Q3 — no three sets cover everyone — iff tL < k/3 or tR < k/3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+
+#include "common/types.hpp"
+
+namespace bsm::broadcast {
+
+class Quorums {
+ public:
+  virtual ~Quorums() = default;
+
+  /// Could all participants *outside* `holders` be corrupt (complement in Z)?
+  [[nodiscard]] virtual bool complement_corruptible(const std::set<PartyId>& holders) const = 0;
+
+  /// Must `holders` contain at least one honest participant (holders not in Z)?
+  [[nodiscard]] virtual bool has_honest(const std::set<PartyId>& holders) const = 0;
+
+  /// Number of king phases needed so that at least one king is honest.
+  [[nodiscard]] virtual std::uint32_t num_phases() const = 0;
+};
+
+/// Up to t corruptions among `size` participants.
+class ThresholdQuorums final : public Quorums {
+ public:
+  ThresholdQuorums(std::uint32_t size, std::uint32_t t) : size_(size), t_(t) {}
+
+  [[nodiscard]] bool complement_corruptible(const std::set<PartyId>& holders) const override {
+    return holders.size() + t_ >= size_;
+  }
+  [[nodiscard]] bool has_honest(const std::set<PartyId>& holders) const override {
+    return holders.size() > t_;
+  }
+  [[nodiscard]] std::uint32_t num_phases() const override { return t_ + 1; }
+
+  /// Phase-king needs size > 3t for agreement.
+  [[nodiscard]] bool q3() const noexcept { return size_ > 3 * t_; }
+
+ private:
+  std::uint32_t size_;
+  std::uint32_t t_;
+};
+
+/// The paper's product structure Z* over all n = 2k parties: up to tL
+/// corruptions among ids [0,k) and up to tR among [k,2k).
+class ProductQuorums final : public Quorums {
+ public:
+  ProductQuorums(std::uint32_t k, std::uint32_t tl, std::uint32_t tr)
+      : k_(k), tl_(tl), tr_(tr) {}
+
+  [[nodiscard]] bool complement_corruptible(const std::set<PartyId>& holders) const override {
+    const auto [cl, cr] = split(holders);
+    return k_ - cl <= tl_ && k_ - cr <= tr_;
+  }
+  [[nodiscard]] bool has_honest(const std::set<PartyId>& holders) const override {
+    const auto [cl, cr] = split(holders);
+    return cl > tl_ || cr > tr_;
+  }
+  [[nodiscard]] std::uint32_t num_phases() const override { return tl_ + tr_ + 1; }
+
+  /// Q3 for Z* (paper Lemma 4 / Appendix A.3).
+  [[nodiscard]] bool q3() const noexcept { return 3 * tl_ < k_ || 3 * tr_ < k_; }
+
+ private:
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> split(
+      const std::set<PartyId>& holders) const {
+    std::uint32_t cl = 0;
+    std::uint32_t cr = 0;
+    for (PartyId p : holders) (p < k_ ? cl : cr)++;
+    return {cl, cr};
+  }
+
+  std::uint32_t k_;
+  std::uint32_t tl_;
+  std::uint32_t tr_;
+};
+
+}  // namespace bsm::broadcast

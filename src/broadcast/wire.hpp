@@ -1,0 +1,43 @@
+// Message kinds shared by the agreement/broadcast instances on a channel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/codec.hpp"
+#include "common/types.hpp"
+
+namespace bsm::broadcast {
+
+enum class MsgKind : std::uint8_t {
+  Value = 1,    ///< phase-king round-1 value exchange
+  Propose = 2,  ///< phase-king round-2 proposal
+  King = 3,     ///< phase-king round-3 king value
+  Final = 4,    ///< Pi_BA closing echo round
+  Input = 5,    ///< BB sender's initial dissemination
+  Chain = 6,    ///< Dolev-Strong signed value chain
+};
+
+/// Encode {kind, value} — the common shape of phase-king traffic.
+[[nodiscard]] inline Bytes encode_kv(MsgKind kind, const Bytes& value) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.bytes(value);
+  return w.take();
+}
+
+struct KvMsg {
+  MsgKind kind;
+  Bytes value;
+};
+
+/// Decode {kind, value}; nullopt on malformed input.
+[[nodiscard]] inline std::optional<KvMsg> decode_kv(const Bytes& body) {
+  Reader r(body);
+  const auto kind = r.u8();
+  Bytes value = r.bytes();
+  if (!r.done() || kind < 1 || kind > 6) return std::nullopt;
+  return KvMsg{static_cast<MsgKind>(kind), std::move(value)};
+}
+
+}  // namespace bsm::broadcast

@@ -1,0 +1,91 @@
+#include "common/codec.hpp"
+
+namespace bsm {
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::bytes(const Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  raw(b);
+}
+
+void Writer::raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+void Writer::u32_vec(const std::vector<std::uint32_t>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (std::uint32_t x : v) u32(x);
+}
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool Reader::take(std::size_t n) noexcept {
+  if (!ok_ || buf_->size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  if (!take(1)) return 0;
+  return (*buf_)[pos_++];
+}
+
+std::uint32_t Reader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>((*buf_)[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>((*buf_)[pos_++]) << (8 * i);
+  return v;
+}
+
+Bytes Reader::bytes() {
+  const std::uint32_t n = u32();
+  if (!take(n)) return {};
+  Bytes out(buf_->begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::uint32_t> Reader::u32_vec() {
+  const std::uint32_t n = u32();
+  // Guard against absurd length prefixes in hostile input: each element
+  // occupies 4 bytes, so n may not exceed the remaining buffer / 4.
+  if (!ok_ || buf_->size() - pos_ < static_cast<std::size_t>(n) * 4) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(u32());
+  return out;
+}
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  if (!take(n)) return {};
+  std::string out(buf_->begin() + static_cast<std::ptrdiff_t>(pos_),
+                  buf_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace bsm

@@ -1,0 +1,61 @@
+// Minimal length-prefixed binary codec.
+//
+// Every protocol message in this repository is serialized through Writer and
+// parsed through Reader. Reader never throws on malformed input: byzantine
+// parties may send arbitrary bytes, so every `get_*` reports failure through
+// `ok()`, and higher layers drop messages that fail to parse.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bsm {
+
+/// Append-only serializer.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(const Bytes& b);          ///< u32 length prefix + raw bytes
+  void raw(const Bytes& b);            ///< raw bytes, no prefix
+  void u32_vec(const std::vector<std::uint32_t>& v);
+  void str(const std::string& s);
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Non-throwing deserializer over a borrowed buffer.
+class Reader {
+ public:
+  explicit Reader(const Bytes& b) noexcept : buf_(&b) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] Bytes bytes();
+  [[nodiscard]] std::vector<std::uint32_t> u32_vec();
+  [[nodiscard]] std::string str();
+
+  /// True iff no read so far ran past the end of the buffer.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// True iff the whole buffer was consumed and all reads succeeded.
+  [[nodiscard]] bool done() const noexcept { return ok_ && pos_ == buf_->size(); }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n) noexcept;
+
+  const Bytes* buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace bsm

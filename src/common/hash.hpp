@@ -1,0 +1,26 @@
+// Non-cryptographic hashing used for transcript digests and the simulated
+// signature scheme's tags. Collision resistance here is "good enough for a
+// simulator": unforgeability of signatures is enforced by capability (see
+// crypto/pki.hpp), not by hash strength.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace bsm {
+
+/// FNV-1a over a byte buffer.
+[[nodiscard]] std::uint64_t fnv1a64(const Bytes& data) noexcept;
+
+/// splitmix64 finalizer; good bit mixing for combining hashes and seeding.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+/// Order-dependent combination of two 64-bit digests.
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Lower-case hex rendering of a digest (for human-readable transcripts).
+[[nodiscard]] std::string to_hex(std::uint64_t v);
+
+}  // namespace bsm

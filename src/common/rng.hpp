@@ -1,0 +1,82 @@
+// Deterministic RNG for workload generation and byzantine noise.
+//
+// Every randomized component takes an explicit seed so that each test,
+// attack scenario, and benchmark run is exactly reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace bsm {
+
+/// xoshiro256**-style generator seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    for (auto& s : state_) {
+      seed = splitmix64(seed);
+      s = seed;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return v % bound;
+  }
+
+  [[nodiscard]] bool chance(double p) noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Random permutation of [0, n).
+  [[nodiscard]] std::vector<std::uint32_t> permutation(std::uint32_t n) {
+    std::vector<std::uint32_t> p(n);
+    std::iota(p.begin(), p.end(), 0U);
+    shuffle(p);
+    return p;
+  }
+
+  /// Random byte string of the given length (byzantine garbage payloads).
+  [[nodiscard]] Bytes random_bytes(std::size_t len) {
+    Bytes out(len);
+    for (auto& b : out) b = static_cast<std::uint8_t>(next());
+    return out;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t rotl(std::uint64_t x, int s) noexcept {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace bsm

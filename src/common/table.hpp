@@ -1,0 +1,25 @@
+// Plain-text table rendering for the benchmark harness binaries, which print
+// the paper's results grid and per-protocol cost tables to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bsm {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header rule; column widths fit the widest cell.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bsm

@@ -1,0 +1,95 @@
+#include "core/factory.hpp"
+
+#include "core/oracle.hpp"
+
+namespace bsm::core {
+
+std::string ProtocolSpec::describe() const {
+  std::string s;
+  switch (kind) {
+    case Kind::BtmDolevStrong: s = "broadcast-then-match[Dolev-Strong]"; break;
+    case Kind::BtmProduct: s = "broadcast-then-match[product phase-king]"; break;
+    case Kind::PiBsm:
+      s = std::string{"Pi_bSM[algo="} + (algo_side == Side::Left ? "L" : "R") + "]";
+      break;
+  }
+  switch (relay) {
+    case net::RelayMode::Direct: break;
+    case net::RelayMode::UnauthMajority: s += " + majority relay"; break;
+    case net::RelayMode::AuthSigned: s += " + signed relay"; break;
+    case net::RelayMode::AuthTimed: s += " + timed signed relay"; break;
+  }
+  return s;
+}
+
+std::optional<ProtocolSpec> resolve_protocol(const BsmConfig& cfg) {
+  if (!solvable(cfg)) return std::nullopt;
+  ProtocolSpec spec;
+
+  const auto finish_btm = [&](BbKind bb) {
+    spec.kind = bb == BbKind::DolevStrong ? ProtocolSpec::Kind::BtmDolevStrong
+                                          : ProtocolSpec::Kind::BtmProduct;
+    spec.total_rounds = BroadcastThenMatch::total_rounds(cfg, bb, spec.stride);
+    return spec;
+  };
+  const auto finish_pi_bsm = [&](Side algo) {
+    spec.kind = ProtocolSpec::Kind::PiBsm;
+    spec.algo_side = algo;
+    spec.relay = net::RelayMode::AuthTimed;
+    spec.stride = 2;
+    const std::uint32_t ta = algo == Side::Left ? cfg.tl : cfg.tr;
+    spec.total_rounds = PiBsmSchedule::compute(ta).total_rounds;
+    return spec;
+  };
+
+  if (!cfg.authenticated) {
+    // Theorems 2-4: general-adversary BB (Lemma 4); off the fully-connected
+    // topology, majority relays (Lemma 6) simulate the missing channels.
+    if (cfg.topology != net::TopologyKind::FullyConnected) {
+      spec.relay = net::RelayMode::UnauthMajority;
+      spec.stride = 2;
+    }
+    return finish_btm(BbKind::ProductPhaseKing);
+  }
+
+  switch (cfg.topology) {
+    case net::TopologyKind::FullyConnected:
+      return finish_btm(BbKind::DolevStrong);  // Theorem 5
+    case net::TopologyKind::OneSided:
+      if (cfg.tr < cfg.k) {
+        spec.relay = net::RelayMode::AuthSigned;  // Lemma 8 through R
+        spec.stride = 2;
+        return finish_btm(BbKind::DolevStrong);
+      }
+      return finish_pi_bsm(Side::Left);  // Theorem 7, tR = k, tL < k/3
+    case net::TopologyKind::Bipartite:
+      if (cfg.tl < cfg.k && cfg.tr < cfg.k) {
+        spec.relay = net::RelayMode::AuthSigned;  // Lemma 8 both ways
+        spec.stride = 2;
+        return finish_btm(BbKind::DolevStrong);
+      }
+      if (3 * cfg.tl < cfg.k) return finish_pi_bsm(Side::Left);   // Theorem 6(ii)
+      return finish_pi_bsm(Side::Right);                          // mirrored
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<BsmProcess> make_bsm_process(const BsmConfig& cfg, const ProtocolSpec& spec,
+                                             PartyId self, matching::PreferenceList input) {
+  switch (spec.kind) {
+    case ProtocolSpec::Kind::BtmDolevStrong:
+      return std::make_unique<BroadcastThenMatch>(cfg, BbKind::DolevStrong, spec.relay,
+                                                  spec.stride, self, std::move(input));
+    case ProtocolSpec::Kind::BtmProduct:
+      return std::make_unique<BroadcastThenMatch>(cfg, BbKind::ProductPhaseKing, spec.relay,
+                                                  spec.stride, self, std::move(input));
+    case ProtocolSpec::Kind::PiBsm:
+      if (side_of(self, cfg.k) == spec.algo_side) {
+        return std::make_unique<PiBsmAlgo>(cfg, spec.algo_side, self, std::move(input));
+      }
+      return std::make_unique<PiBsmOther>(cfg, spec.algo_side, self, std::move(input));
+  }
+  return nullptr;
+}
+
+}  // namespace bsm::core

@@ -1,0 +1,37 @@
+// Protocol selection: maps a bSM setting to the concrete construction used
+// in the paper's sufficiency proof for that setting, and builds per-party
+// processes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/btm.hpp"
+#include "core/pi_bsm.hpp"
+#include "core/problem.hpp"
+
+namespace bsm::core {
+
+struct ProtocolSpec {
+  enum class Kind : std::uint8_t { BtmDolevStrong, BtmProduct, PiBsm };
+
+  Kind kind = Kind::BtmDolevStrong;
+  net::RelayMode relay = net::RelayMode::Direct;
+  std::uint32_t stride = 1;
+  Side algo_side = Side::Left;  ///< Pi_bSM only
+  Round total_rounds = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The construction for this setting, or nullopt when the oracle says the
+/// setting is unsolvable (the paper's necessity direction).
+[[nodiscard]] std::optional<ProtocolSpec> resolve_protocol(const BsmConfig& cfg);
+
+/// Build the process party `self` runs under `spec`.
+[[nodiscard]] std::unique_ptr<BsmProcess> make_bsm_process(const BsmConfig& cfg,
+                                                           const ProtocolSpec& spec, PartyId self,
+                                                           matching::PreferenceList input);
+
+}  // namespace bsm::core

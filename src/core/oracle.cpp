@@ -1,0 +1,74 @@
+#include "core/oracle.hpp"
+
+namespace bsm::core {
+
+namespace {
+
+[[nodiscard]] bool third(std::uint32_t t, std::uint32_t k) { return 3 * t < k; }
+[[nodiscard]] bool half(std::uint32_t t, std::uint32_t k) { return 2 * t < k; }
+
+}  // namespace
+
+bool solvable(const BsmConfig& cfg) {
+  const std::uint32_t k = cfg.k;
+  const std::uint32_t tl = cfg.tl;
+  const std::uint32_t tr = cfg.tr;
+  require(tl <= k && tr <= k, "solvable: thresholds exceed side size");
+  const bool cond3 = third(tl, k) || third(tr, k);
+
+  if (!cfg.authenticated) {
+    switch (cfg.topology) {
+      case net::TopologyKind::FullyConnected: return cond3;                     // Theorem 2
+      case net::TopologyKind::Bipartite: return half(tl, k) && half(tr, k) && cond3;  // Theorem 3
+      case net::TopologyKind::OneSided: return half(tr, k) && cond3;            // Theorem 4
+    }
+  } else {
+    switch (cfg.topology) {
+      case net::TopologyKind::FullyConnected: return true;                      // Theorem 5
+      case net::TopologyKind::Bipartite:
+        return (tl < k && tr < k) || third(tl, k) || third(tr, k);              // Theorem 6
+      case net::TopologyKind::OneSided: return tr < k || third(tl, k);          // Theorem 7
+    }
+  }
+  return false;
+}
+
+std::string solvability_reason(const BsmConfig& cfg) {
+  const std::uint32_t k = cfg.k;
+  const std::uint32_t tl = cfg.tl;
+  const std::uint32_t tr = cfg.tr;
+  const bool cond3 = third(tl, k) || third(tr, k);
+
+  if (!cfg.authenticated) {
+    switch (cfg.topology) {
+      case net::TopologyKind::FullyConnected:
+        return cond3 ? "Thm 2: tL<k/3 or tR<k/3 -> general-adversary BB + A_G-S"
+                     : "Thm 2: tL>=k/3 and tR>=k/3 -> impossible (Lemma 5 attack)";
+      case net::TopologyKind::Bipartite:
+        if (!half(tl, k) || !half(tr, k))
+          return "Thm 3: a side lacks honest relay majority -> impossible (Lemma 7 attack)";
+        return cond3 ? "Thm 3: majority relays (Lemma 6) reduce to fully-connected"
+                     : "Thm 3: tL>=k/3 and tR>=k/3 -> impossible (Lemma 5 attack)";
+      case net::TopologyKind::OneSided:
+        if (!half(tr, k)) return "Thm 4: tR>=k/2 -> impossible (Lemma 7 attack)";
+        return cond3 ? "Thm 4: majority relays through R reduce to fully-connected"
+                     : "Thm 4: tL>=k/3 and tR>=k/3 -> impossible (Lemma 5 attack)";
+    }
+  } else {
+    switch (cfg.topology) {
+      case net::TopologyKind::FullyConnected:
+        return "Thm 5: Dolev-Strong BB (t<n) + A_G-S";
+      case net::TopologyKind::Bipartite:
+        if (tl < k && tr < k) return "Thm 6(i): signed relays (Lemma 8) reduce to fully-connected";
+        if (third(tl, k) || third(tr, k)) return "Thm 6(ii): Pi_bSM with omission-tolerant BA/BB";
+        return "Thm 6: one side fully byzantine and the other >= k/3 -> impossible (Lemma 13)";
+      case net::TopologyKind::OneSided:
+        if (tr < k) return "Thm 7: signed relays through R reduce to fully-connected";
+        if (third(tl, k)) return "Thm 7: tR=k but tL<k/3 -> Pi_bSM";
+        return "Thm 7: tR=k and tL>=k/3 -> impossible (Lemma 13 attack)";
+    }
+  }
+  return "?";
+}
+
+}  // namespace bsm::core

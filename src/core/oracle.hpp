@@ -1,0 +1,27 @@
+// The paper's exact solvability characterization (Theorems 2-7), as a
+// closed-form oracle. The empirical grid experiment (bench E1) compares
+// protocol runs against this function cell by cell.
+#pragma once
+
+#include <string>
+
+#include "core/problem.hpp"
+
+namespace bsm::core {
+
+/// Is bSM solvable in this setting, per the paper?
+///
+///  unauthenticated:
+///   - fully-connected:  tL < k/3 or tR < k/3
+///   - bipartite:        tL, tR < k/2  and  (tL < k/3 or tR < k/3)
+///   - one-sided:        tR < k/2      and  (tL < k/3 or tR < k/3)
+///  authenticated:
+///   - fully-connected:  always
+///   - bipartite:        (tL < k and tR < k)  or  tL < k/3  or  tR < k/3
+///   - one-sided:        tR < k  or  tL < k/3
+[[nodiscard]] bool solvable(const BsmConfig& cfg);
+
+/// Human-readable justification (which theorem/condition applies).
+[[nodiscard]] std::string solvability_reason(const BsmConfig& cfg);
+
+}  // namespace bsm::core

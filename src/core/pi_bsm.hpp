@@ -1,0 +1,104 @@
+// Pi_bSM (paper Section 5.2): bSM in a bipartite *authenticated* network
+// when one side may be fully byzantine, provided the other ("algorithm")
+// side A has tA < k/3.
+//
+// Mechanics, with B the opposite side:
+//  - A-to-A traffic travels over the timed signed relay (Lemma 10): a
+//    virtual fully-connected network with delay 2*Delta in which omissions
+//    can occur only if *every* B party is byzantine.
+//  - Every a in A broadcasts its list to A via Pi_BB; every b in B sends
+//    its list directly to A, and A agrees on it via one Pi_BA instance per
+//    b (default list if b stayed silent). Both tolerate omissions with
+//    weak agreement (Theorems 8, 9).
+//  - At time max(Delta_BA(2 Delta) + Delta, Delta_BB(2 Delta)) each a
+//    either saw a bottom (omission) and matches nobody, or runs A_G-S
+//    locally and tells each b whom to match.
+//  - Each b adopts the most common suggestion a round later.
+//
+// The same code serves Theorem 6's mirrored case (tR < k/3, tL = k) by
+// letting A = R, and Theorem 7's tR = k case in a one-sided network (extra
+// R-R channels are simply unused).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "broadcast/instance.hpp"
+#include "core/problem.hpp"
+#include "matching/gale_shapley.hpp"
+#include "matching/preferences.hpp"
+
+namespace bsm::core {
+
+/// Publicly known timetable of Pi_bSM, in engine rounds (Delta = 1 round).
+struct PiBsmSchedule {
+  std::uint32_t ta = 0;           ///< corruption budget on the algorithm side
+  std::uint32_t bb_steps = 0;     ///< Pi_BB duration in protocol steps
+  std::uint32_t ba_steps = 0;     ///< Pi_BA duration in protocol steps
+  Round algo_decision = 0;        ///< A-side decision round
+  Round other_decision = 0;       ///< B-side decision round
+  Round total_rounds = 0;
+
+  [[nodiscard]] static PiBsmSchedule compute(std::uint32_t ta);
+};
+
+/// Code for a party on the algorithm side A.
+class PiBsmAlgo final : public BsmProcess {
+ public:
+  PiBsmAlgo(const BsmConfig& cfg, Side algo_side, PartyId self, matching::PreferenceList input);
+
+  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override;
+
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] PartyId decision() const override { return decision_; }
+  [[nodiscard]] const matching::Matching& matching() const { return matching_; }
+
+ private:
+  BsmConfig cfg_;
+  Side algo_side_;
+  PartyId self_;
+  PiBsmSchedule sched_;
+  broadcast::InstanceHub hub_;
+  std::vector<PartyId> algo_members_;
+  std::vector<PartyId> other_members_;
+  bool decided_ = false;
+  PartyId decision_ = kNobody;
+  matching::Matching matching_;
+};
+
+/// How a B party condenses the (possibly conflicting) match suggestions it
+/// receives from A. The paper prescribes MostCommon (Pi_bSM line 5); the
+/// FirstReceived policy exists only for the ablation benchmark, which shows
+/// a single lying A party defeating it.
+enum class SuggestionPolicy : std::uint8_t { MostCommon, FirstReceived };
+
+/// Code for a party on the opposite side B.
+class PiBsmOther final : public BsmProcess {
+ public:
+  PiBsmOther(const BsmConfig& cfg, Side algo_side, PartyId self, matching::PreferenceList input,
+             SuggestionPolicy policy = SuggestionPolicy::MostCommon);
+
+  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override;
+
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] PartyId decision() const override { return decision_; }
+
+ private:
+  BsmConfig cfg_;
+  Side algo_side_;
+  PartyId self_;
+  PiBsmSchedule sched_;
+  net::RelayRouter router_;
+  matching::PreferenceList input_;
+  SuggestionPolicy policy_;
+  std::map<PartyId, PartyId> suggestions_;  ///< first suggestion per A party
+  std::vector<PartyId> arrival_order_;      ///< suggesters in arrival order
+  bool decided_ = false;
+  PartyId decision_ = kNobody;
+};
+
+/// Control channel ids (outside the per-party instance channels [0, 2k)).
+[[nodiscard]] std::uint32_t pi_bsm_list_channel(std::uint32_t k);
+[[nodiscard]] std::uint32_t pi_bsm_suggest_channel(std::uint32_t k);
+
+}  // namespace bsm::core

@@ -1,0 +1,118 @@
+#include "core/properties.hpp"
+
+namespace bsm::core {
+
+namespace {
+
+std::string party_name(PartyId id) { return "P" + std::to_string(id); }
+
+/// Shared structural checks: termination (+ output well-formedness),
+/// symmetry, non-competition. Returns the report to be extended with the
+/// variant-specific stability check.
+PropertyReport structural_checks(std::uint32_t k, const std::vector<bool>& corrupt,
+                                 const std::vector<std::optional<PartyId>>& decisions) {
+  PropertyReport rep;
+  const std::uint32_t n = 2 * k;
+  require(corrupt.size() == n && decisions.size() == n,
+          "properties: corrupt/decisions size mismatch");
+
+  for (PartyId u = 0; u < n; ++u) {
+    if (corrupt[u]) continue;
+    if (!decisions[u].has_value()) {
+      rep.termination = false;
+      rep.violations.push_back("termination: " + party_name(u) + " produced no output");
+      continue;
+    }
+    const PartyId v = *decisions[u];
+    if (v != kNobody && (v >= n || side_of(v, k) == side_of(u, k))) {
+      rep.termination = false;
+      rep.violations.push_back("termination: " + party_name(u) +
+                               " output is not a party on the opposite side");
+    }
+  }
+
+  for (PartyId u = 0; u < n; ++u) {
+    if (corrupt[u] || !decisions[u].has_value()) continue;
+    const PartyId v = *decisions[u];
+    if (v == kNobody || v >= n) continue;
+    if (!corrupt[v] && decisions[v].has_value() && *decisions[v] != u) {
+      rep.symmetry = false;
+      rep.violations.push_back("symmetry: " + party_name(u) + " matched " + party_name(v) +
+                               " but " + party_name(v) + " did not reciprocate");
+    }
+    for (PartyId w = u + 1; w < n; ++w) {
+      if (corrupt[w] || !decisions[w].has_value()) continue;
+      if (*decisions[w] == v) {
+        rep.non_competition = false;
+        rep.violations.push_back("non-competition: " + party_name(u) + " and " + party_name(w) +
+                                 " both matched " + party_name(v));
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace
+
+std::string PropertyReport::summary() const {
+  std::string s;
+  s += termination ? "T" : "t";
+  s += symmetry ? "S" : "s";
+  s += stability ? "B" : "b";
+  s += non_competition ? "N" : "n";
+  return s;
+}
+
+PropertyReport check_bsm(std::uint32_t k, const std::vector<bool>& corrupt,
+                         const matching::PreferenceProfile& honest_inputs,
+                         const std::vector<std::optional<PartyId>>& decisions) {
+  PropertyReport rep = structural_checks(k, corrupt, decisions);
+
+  // Stability: no blocking pair of honest parties, judged against the
+  // honest parties' *original* inputs. An unmatched honest party prefers
+  // any candidate over being alone; a malformed output (already flagged
+  // under termination) counts as unmatched here.
+  const auto valid_partner = [&](PartyId owner, PartyId m) {
+    return m != kNobody && m < 2 * k && side_of(m, k) != side_of(owner, k);
+  };
+  for (PartyId l = 0; l < k; ++l) {
+    if (corrupt[l] || !decisions[l].has_value()) continue;
+    for (PartyId r = k; r < 2 * k; ++r) {
+      if (corrupt[r] || !decisions[r].has_value()) continue;
+      const PartyId ml = *decisions[l];
+      const PartyId mr = *decisions[r];
+      if (ml == r) continue;
+      const bool l_wants = !valid_partner(l, ml) || honest_inputs.prefers(l, r, ml);
+      const bool r_wants = !valid_partner(r, mr) || honest_inputs.prefers(r, l, mr);
+      if (l_wants && r_wants) {
+        rep.stability = false;
+        rep.violations.push_back("stability: honest pair (" + party_name(l) + ", " +
+                                 party_name(r) + ") is blocking");
+      }
+    }
+  }
+  return rep;
+}
+
+PropertyReport check_ssm(std::uint32_t k, const std::vector<bool>& corrupt,
+                         const std::vector<PartyId>& favorites,
+                         const std::vector<std::optional<PartyId>>& decisions) {
+  PropertyReport rep = structural_checks(k, corrupt, decisions);
+  require(favorites.size() == 2 * k, "check_ssm: favorites size mismatch");
+
+  for (PartyId l = 0; l < k; ++l) {
+    if (corrupt[l]) continue;
+    const PartyId r = favorites[l];
+    if (r >= 2 * k || corrupt[r] || favorites[r] != l) continue;  // not mutual honest favorites
+    const bool matched = decisions[l].has_value() && *decisions[l] == r &&
+                         decisions[r].has_value() && *decisions[r] == l;
+    if (!matched) {
+      rep.stability = false;
+      rep.violations.push_back("simplified stability: mutual favorites (" + party_name(l) +
+                               ", " + party_name(r) + ") did not match each other");
+    }
+  }
+  return rep;
+}
+
+}  // namespace bsm::core

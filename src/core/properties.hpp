@@ -1,0 +1,44 @@
+// Post-hoc verification of the bSM properties (Definition 1) and the
+// simplified-stability property of sSM (Section 3) over a run's outputs.
+//
+// All checks quantify over honest parties only, exactly as the definitions
+// do; byzantine parties' "decisions" are ignored.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "matching/preferences.hpp"
+
+namespace bsm::core {
+
+struct PropertyReport {
+  bool termination = true;      ///< every honest party output a valid value
+  bool symmetry = true;         ///< honest matches are reciprocal
+  bool stability = true;        ///< no honest-honest blocking pair
+  bool non_competition = true;  ///< no two honest parties share an output
+
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool all() const noexcept {
+    return termination && symmetry && stability && non_competition;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// `decisions[i]`: nullopt if party i never output (termination violation
+/// for honest i); kNobody for "match with nobody"; otherwise a party id.
+PropertyReport check_bsm(std::uint32_t k, const std::vector<bool>& corrupt,
+                         const matching::PreferenceProfile& honest_inputs,
+                         const std::vector<std::optional<PartyId>>& decisions);
+
+/// sSM variant: stability is replaced by simplified stability ("mutual
+/// favorites must match each other").
+PropertyReport check_ssm(std::uint32_t k, const std::vector<bool>& corrupt,
+                         const std::vector<PartyId>& favorites,
+                         const std::vector<std::optional<PartyId>>& decisions);
+
+}  // namespace bsm::core

@@ -1,0 +1,64 @@
+#include "core/runner.hpp"
+
+#include "core/oracle.hpp"
+
+namespace bsm::core {
+
+namespace {
+
+[[nodiscard]] ProtocolSpec spec_for(const RunSpec& spec) {
+  if (spec.forced_spec.has_value()) return *spec.forced_spec;
+  auto resolved = resolve_protocol(spec.config);
+  require(resolved.has_value(), "run_bsm: configuration is unsolvable (per the paper); "
+                                "use forced_spec for attack experiments");
+  return *resolved;
+}
+
+}  // namespace
+
+std::unique_ptr<BsmProcess> honest_process_for(const RunSpec& spec, PartyId id,
+                                               matching::PreferenceList input) {
+  return make_bsm_process(spec.config, spec_for(spec), id, std::move(input));
+}
+
+RunOutcome run_bsm(RunSpec spec) {
+  const BsmConfig& cfg = spec.config;
+  require(spec.inputs.k() == cfg.k, "run_bsm: inputs sized for a different market");
+  const ProtocolSpec proto = spec_for(spec);
+
+  net::Engine engine(net::Topology(cfg.topology, cfg.k), spec.pki_seed);
+
+  for (PartyId id = 0; id < cfg.n(); ++id) {
+    engine.set_process(id, make_bsm_process(cfg, proto, id, spec.inputs.list(id)));
+  }
+  for (auto& adv : spec.adversaries) {
+    require(adv.id < cfg.n(), "run_bsm: adversary id out of range");
+    require(adv.strategy != nullptr, "run_bsm: adversary strategy missing");
+    if (adv.when == 0) {
+      engine.set_corrupt(adv.id, std::move(adv.strategy));
+    } else {
+      engine.schedule_corruption(adv.id, adv.when, std::move(adv.strategy));
+    }
+  }
+
+  const Round rounds = proto.total_rounds + spec.extra_rounds;
+  engine.run(rounds);
+
+  RunOutcome out;
+  out.spec = proto;
+  out.rounds = rounds;
+  out.corrupt = engine.corrupt_mask();
+  out.traffic = engine.stats();
+  out.decisions.resize(cfg.n());
+  out.view_hashes.resize(cfg.n());
+  for (PartyId id = 0; id < cfg.n(); ++id) {
+    out.view_hashes[id] = engine.view_hash(id);
+    if (out.corrupt[id]) continue;
+    const auto& process = dynamic_cast<const BsmProcess&>(engine.process(id));
+    if (process.decided()) out.decisions[id] = process.decision();
+  }
+  out.report = check_bsm(cfg.k, out.corrupt, spec.inputs, out.decisions);
+  return out;
+}
+
+}  // namespace bsm::core

@@ -1,0 +1,56 @@
+// One-call experiment driver: assemble an engine, install honest protocol
+// processes and adversarial strategies, run to the protocol's deadline, and
+// verify the bSM properties on the honest outputs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "core/problem.hpp"
+#include "core/properties.hpp"
+#include "net/engine.hpp"
+
+namespace bsm::core {
+
+/// One corrupted party: strategy installed at round `when` (0 = from the
+/// start; later = adaptive corruption).
+struct AdversaryAssignment {
+  PartyId id = kNobody;
+  Round when = 0;
+  std::unique_ptr<net::Process> strategy;
+};
+
+struct RunSpec {
+  BsmConfig config;
+  matching::PreferenceProfile inputs;  ///< complete; byzantine entries unused
+  std::vector<AdversaryAssignment> adversaries;
+  std::uint64_t pki_seed = 1;
+  Round extra_rounds = 2;  ///< slack after the protocol deadline
+
+  /// Attack experiments force a construction outside its validity region.
+  std::optional<ProtocolSpec> forced_spec;
+};
+
+struct RunOutcome {
+  std::vector<std::optional<PartyId>> decisions;
+  std::vector<bool> corrupt;
+  PropertyReport report;
+  net::TrafficStats traffic;
+  Round rounds = 0;
+  std::vector<std::uint64_t> view_hashes;
+  ProtocolSpec spec;
+};
+
+/// Run the setting's own protocol (requires a solvable configuration unless
+/// `spec.forced_spec` is set) and check properties.
+[[nodiscard]] RunOutcome run_bsm(RunSpec spec);
+
+/// Convenience: build the honest process a party would run, for adversary
+/// strategies that wrap honest code (lying inputs, split-brain simulation).
+[[nodiscard]] std::unique_ptr<BsmProcess> honest_process_for(const RunSpec& spec, PartyId id,
+                                                             matching::PreferenceList input);
+
+}  // namespace bsm::core

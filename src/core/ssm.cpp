@@ -1,0 +1,47 @@
+#include "core/ssm.hpp"
+
+namespace bsm::core {
+
+matching::PreferenceList list_from_favorite(PartyId self, PartyId favorite, std::uint32_t k) {
+  const Side own = side_of(self, k);
+  require(favorite < 2 * k && side_of(favorite, k) == opposite(own),
+          "list_from_favorite: favorite must be on the opposite side");
+  matching::PreferenceList list;
+  list.reserve(k);
+  list.push_back(favorite);
+  for (PartyId candidate : side_members(opposite(own), k)) {
+    if (candidate != favorite) list.push_back(candidate);
+  }
+  return list;
+}
+
+matching::PreferenceProfile profile_from_favorites(const std::vector<PartyId>& favorites,
+                                                   std::uint32_t k) {
+  require(favorites.size() == 2 * k, "profile_from_favorites: need one favorite per party");
+  matching::PreferenceProfile profile(k);
+  for (PartyId id = 0; id < 2 * k; ++id) {
+    profile.set(id, list_from_favorite(id, favorites[id], k));
+  }
+  return profile;
+}
+
+std::pair<std::uint32_t, std::uint32_t> reduced_thresholds(std::uint32_t k, std::uint32_t d,
+                                                           std::uint32_t tl, std::uint32_t tr) {
+  require(d >= 1 && d <= k, "reduced_thresholds: need 0 < d <= k");
+  const std::uint32_t group = (k + d - 1) / d;  // ceil(k/d)
+  return {tl / group, tr / group};
+}
+
+RunOutcome run_ssm(SsmRunSpec spec) {
+  RunSpec bsm_spec;
+  bsm_spec.config = spec.config;
+  bsm_spec.inputs = profile_from_favorites(spec.favorites, spec.config.k);
+  bsm_spec.adversaries = std::move(spec.adversaries);
+  bsm_spec.pki_seed = spec.pki_seed;
+  RunOutcome out = run_bsm(std::move(bsm_spec));
+  // Replace the bSM report by the simplified one (Lemma 2's guarantee).
+  out.report = check_ssm(spec.config.k, out.corrupt, spec.favorites, out.decisions);
+  return out;
+}
+
+}  // namespace bsm::core

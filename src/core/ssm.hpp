@@ -1,0 +1,48 @@
+// Simplified stable matching (sSM, paper Section 3) and its reductions.
+//
+// Lemma 2: a bSM protocol solves sSM — each party expands its favorite into
+// an arbitrary list with the favorite ranked first.
+// Lemma 3: a protocol for (k, tL, tR) yields one for d parties per side
+// tolerating floor(tL / ceil(k/d)) and floor(tR / ceil(k/d)) corruptions
+// (used by every impossibility proof to scale small counterexamples up).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/runner.hpp"
+#include "matching/preferences.hpp"
+
+namespace bsm::core {
+
+/// Lemma 2's input expansion: favorite first, then the remaining candidates
+/// in ascending id order.
+[[nodiscard]] matching::PreferenceList list_from_favorite(PartyId self, PartyId favorite,
+                                                          std::uint32_t k);
+
+/// Expand a favorites vector (one entry per party) into a bSM profile.
+[[nodiscard]] matching::PreferenceProfile profile_from_favorites(
+    const std::vector<PartyId>& favorites, std::uint32_t k);
+
+/// Lemma 3's threshold arithmetic: the corruption budget the simulated
+/// 2d-party protocol inherits from a (k, tL, tR) protocol.
+[[nodiscard]] std::pair<std::uint32_t, std::uint32_t> reduced_thresholds(std::uint32_t k,
+                                                                         std::uint32_t d,
+                                                                         std::uint32_t tl,
+                                                                         std::uint32_t tr);
+
+/// Solve sSM through the Lemma 2 reduction: expand favorites into lists,
+/// run the setting's bSM protocol, and verify the *simplified* properties
+/// (termination, symmetry, non-competition, simplified stability).
+struct SsmRunSpec {
+  BsmConfig config;
+  std::vector<PartyId> favorites;  ///< one per party; byzantine entries unused
+  std::vector<AdversaryAssignment> adversaries;
+  std::uint64_t pki_seed = 1;
+};
+
+[[nodiscard]] RunOutcome run_ssm(SsmRunSpec spec);
+
+}  // namespace bsm::core

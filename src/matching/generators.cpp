@@ -1,0 +1,67 @@
+#include "matching/generators.hpp"
+
+namespace bsm::matching {
+
+PreferenceProfile random_profile(std::uint32_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  PreferenceProfile profile(k);
+  for (PartyId id = 0; id < 2 * k; ++id) {
+    PreferenceList list = side_members(opposite(side_of(id, k)), k);
+    rng.shuffle(list);
+    profile.set(id, std::move(list));
+  }
+  return profile;
+}
+
+PreferenceProfile contested_profile(std::uint32_t k) {
+  PreferenceProfile profile(k);
+  const PreferenceList left_view = side_members(Side::Right, k);
+  const PreferenceList right_view = side_members(Side::Left, k);
+  for (PartyId l = 0; l < k; ++l) profile.set(l, left_view);
+  for (PartyId r = k; r < 2 * k; ++r) profile.set(r, right_view);
+  return profile;
+}
+
+PreferenceProfile aligned_profile(std::uint32_t k) {
+  PreferenceProfile profile(k);
+  for (PartyId l = 0; l < k; ++l) {
+    PreferenceList list;
+    list.reserve(k);
+    for (std::uint32_t j = 0; j < k; ++j) list.push_back(k + (l + j) % k);
+    profile.set(l, std::move(list));
+  }
+  for (std::uint32_t i = 0; i < k; ++i) {
+    PreferenceList list;
+    list.reserve(k);
+    for (std::uint32_t j = 0; j < k; ++j) list.push_back((i + j) % k);
+    profile.set(k + i, std::move(list));
+  }
+  return profile;
+}
+
+PreferenceProfile similar_profile(std::uint32_t k, std::uint32_t swaps, std::uint64_t seed) {
+  Rng rng(seed);
+  PreferenceProfile profile(k);
+  const PreferenceList base_left = side_members(Side::Right, k);
+  const PreferenceList base_right = side_members(Side::Left, k);
+  for (PartyId id = 0; id < 2 * k; ++id) {
+    PreferenceList list = side_of(id, k) == Side::Left ? base_left : base_right;
+    for (std::uint32_t s = 0; s < swaps; ++s) {
+      if (k < 2) break;
+      const auto i = static_cast<std::size_t>(rng.below(k - 1));
+      std::swap(list[i], list[i + 1]);
+    }
+    profile.set(id, std::move(list));
+  }
+  return profile;
+}
+
+std::vector<PartyId> favorites_of(const PreferenceProfile& profile) {
+  std::vector<PartyId> favorites(profile.n(), kNobody);
+  for (PartyId id = 0; id < profile.n(); ++id) {
+    if (!profile.list(id).empty()) favorites[id] = profile.list(id).front();
+  }
+  return favorites;
+}
+
+}  // namespace bsm::matching

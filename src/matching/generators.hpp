@@ -1,0 +1,30 @@
+// Workload generators for tests, examples, and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "matching/preferences.hpp"
+
+namespace bsm::matching {
+
+/// Uniformly random complete profile.
+[[nodiscard]] PreferenceProfile random_profile(std::uint32_t k, std::uint64_t seed);
+
+/// Every party on a side holds the identical list: the classic Theta(k^2)
+/// proposal worst case for left-proposing Gale-Shapley.
+[[nodiscard]] PreferenceProfile contested_profile(std::uint32_t k);
+
+/// Left party i ranks right party (i + j) mod k at position j and vice
+/// versa: mutual-first-choice pairs, the best case (k proposals).
+[[nodiscard]] PreferenceProfile aligned_profile(std::uint32_t k);
+
+/// Random profile whose lists deviate from a shared base ranking by at most
+/// `swaps` adjacent transpositions ("similar preference lists").
+[[nodiscard]] PreferenceProfile similar_profile(std::uint32_t k, std::uint32_t swaps,
+                                                std::uint64_t seed);
+
+/// Favorites (list heads) of a profile, for the simplified problem sSM.
+[[nodiscard]] std::vector<PartyId> favorites_of(const PreferenceProfile& profile);
+
+}  // namespace bsm::matching

@@ -1,0 +1,167 @@
+#include "matching/incomplete.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace bsm::matching {
+
+void IncompleteProfile::set(PartyId id, std::vector<PartyId> list) {
+  require(id < lists_.size(), "IncompleteProfile::set: bad id");
+  std::set<PartyId> seen;
+  for (PartyId c : list) {
+    require(c < 2 * k_ && side_of(c, k_) != side_of(id, k_),
+            "IncompleteProfile::set: entries must be distinct opposite-side ids");
+    require(seen.insert(c).second, "IncompleteProfile::set: duplicate entry");
+  }
+  lists_[id] = std::move(list);
+}
+
+const std::vector<PartyId>& IncompleteProfile::list(PartyId id) const {
+  require(id < lists_.size(), "IncompleteProfile::list: bad id");
+  return lists_[id];
+}
+
+bool IncompleteProfile::accepts(PartyId id, PartyId candidate) const {
+  const auto& l = list(id);
+  return std::find(l.begin(), l.end(), candidate) != l.end();
+}
+
+std::uint32_t IncompleteProfile::rank(PartyId id, PartyId candidate) const {
+  const auto& l = list(id);
+  const auto it = std::find(l.begin(), l.end(), candidate);
+  require(it != l.end(), "IncompleteProfile::rank: candidate not acceptable");
+  return static_cast<std::uint32_t>(it - l.begin());
+}
+
+bool IncompleteProfile::prefers(PartyId id, PartyId a, PartyId b) const {
+  return rank(id, a) < rank(id, b);
+}
+
+bool IncompleteProfile::consistent() const {
+  for (PartyId id = 0; id < lists_.size(); ++id) {
+    for (PartyId c : lists_[id]) {
+      if (!accepts(c, id)) return false;  // acceptability must be mutual
+    }
+  }
+  return true;
+}
+
+GaleShapleyResult gale_shapley_incomplete(const IncompleteProfile& profile) {
+  require(profile.consistent(), "gale_shapley_incomplete: inconsistent profile");
+  const std::uint32_t k = profile.k();
+
+  GaleShapleyResult result;
+  result.matching.assign(2 * k, kNobody);
+  std::vector<std::uint32_t> next(k, 0);
+  std::deque<PartyId> free;
+  for (PartyId l = 0; l < k; ++l) free.push_back(l);
+
+  while (!free.empty()) {
+    const PartyId l = free.front();
+    free.pop_front();
+    if (next[l] >= profile.list(l).size()) continue;  // exhausted: stays unmatched
+    const PartyId r = profile.list(l)[next[l]++];
+    ++result.proposals;
+
+    const PartyId current = result.matching[r];
+    if (current == kNobody) {
+      result.matching[r] = l;
+      result.matching[l] = r;
+    } else if (profile.prefers(r, l, current)) {
+      result.matching[current] = kNobody;
+      free.push_back(current);
+      result.matching[r] = l;
+      result.matching[l] = r;
+    } else {
+      free.push_back(l);
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<PartyId, PartyId>> incomplete_blocking_pairs(
+    const IncompleteProfile& profile, const Matching& m) {
+  const std::uint32_t k = profile.k();
+  require(m.size() == 2 * k, "incomplete_blocking_pairs: matching size mismatch");
+  std::vector<std::pair<PartyId, PartyId>> out;
+  for (PartyId l = 0; l < k; ++l) {
+    for (PartyId r : profile.list(l)) {
+      if (m[l] == r) continue;
+      const bool l_wants = m[l] == kNobody || profile.prefers(l, r, m[l]);
+      const bool r_wants = m[r] == kNobody || profile.prefers(r, l, m[r]);
+      if (l_wants && r_wants) out.emplace_back(l, r);
+    }
+  }
+  return out;
+}
+
+bool is_stable_incomplete(const IncompleteProfile& profile, const Matching& m) {
+  const std::uint32_t k = profile.k();
+  if (m.size() != 2 * k) return false;
+  for (PartyId u = 0; u < 2 * k; ++u) {
+    const PartyId v = m[u];
+    if (v == kNobody) continue;
+    if (v >= 2 * k || side_of(v, k) == side_of(u, k)) return false;
+    if (m[v] != u || !profile.accepts(u, v)) return false;
+  }
+  return incomplete_blocking_pairs(profile, m).empty();
+}
+
+std::vector<Matching> all_stable_incomplete_matchings(const IncompleteProfile& profile) {
+  const std::uint32_t k = profile.k();
+  std::vector<Matching> out;
+  Matching m(2 * k, kNobody);
+
+  // Enumerate all partial matchings along acceptable pairs.
+  std::function<void(PartyId)> recurse = [&](PartyId l) {
+    if (l == k) {
+      if (is_stable_incomplete(profile, m)) out.push_back(m);
+      return;
+    }
+    recurse(l + 1);  // l stays unmatched
+    for (PartyId r : profile.list(l)) {
+      if (m[r] != kNobody) continue;
+      m[l] = r;
+      m[r] = l;
+      recurse(l + 1);
+      m[l] = kNobody;
+      m[r] = kNobody;
+    }
+  };
+  recurse(0);
+  return out;
+}
+
+IncompleteProfile random_incomplete_profile(std::uint32_t k, double density,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  // Choose the mutually acceptable pair set first, then random orders.
+  std::vector<std::vector<bool>> acceptable(k, std::vector<bool>(k, false));
+  for (std::uint32_t l = 0; l < k; ++l) {
+    for (std::uint32_t r = 0; r < k; ++r) acceptable[l][r] = rng.chance(density);
+  }
+  IncompleteProfile profile(k);
+  for (PartyId l = 0; l < k; ++l) {
+    std::vector<PartyId> list;
+    for (std::uint32_t r = 0; r < k; ++r) {
+      if (acceptable[l][r]) list.push_back(k + r);
+    }
+    rng.shuffle(list);
+    profile.set(l, std::move(list));
+  }
+  for (std::uint32_t r = 0; r < k; ++r) {
+    std::vector<PartyId> list;
+    for (std::uint32_t l = 0; l < k; ++l) {
+      if (acceptable[l][r]) list.push_back(l);
+    }
+    rng.shuffle(list);
+    profile.set(k + r, std::move(list));
+  }
+  return profile;
+}
+
+}  // namespace bsm::matching

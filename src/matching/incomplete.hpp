@@ -1,0 +1,70 @@
+// Stable matching with incomplete preference lists (SMI) — the variant the
+// paper's introduction cites from Gusfield & Irving [13]: parties may
+// declare only a subset of the opposite side acceptable, a stable matching
+// always exists but may leave parties unmatched, and (the "rural
+// hospitals" phenomenon) every stable matching matches exactly the same
+// set of parties.
+//
+// We require acceptability to be mutual (l lists r iff r lists l), which
+// is the standard normalization: one-sided acceptability can never produce
+// a match or a blocking pair, so dropping it loses nothing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "matching/gale_shapley.hpp"
+#include "matching/preferences.hpp"
+
+namespace bsm::matching {
+
+/// One (possibly partial) list per party; index = global id. Entries must
+/// be distinct opposite-side ids; matching::Matching slots may stay kNobody.
+class IncompleteProfile {
+ public:
+  IncompleteProfile() = default;
+  explicit IncompleteProfile(std::uint32_t k) : k_(k), lists_(2 * k) {}
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return 2 * k_; }
+
+  void set(PartyId id, std::vector<PartyId> list);
+  [[nodiscard]] const std::vector<PartyId>& list(PartyId id) const;
+
+  [[nodiscard]] bool accepts(PartyId id, PartyId candidate) const;
+  /// Rank within id's list (0 best). Requires accepts(id, candidate).
+  [[nodiscard]] std::uint32_t rank(PartyId id, PartyId candidate) const;
+  [[nodiscard]] bool prefers(PartyId id, PartyId a, PartyId b) const;
+
+  /// Structurally valid and mutually acceptable?
+  [[nodiscard]] bool consistent() const;
+
+ private:
+  std::uint32_t k_ = 0;
+  std::vector<std::vector<PartyId>> lists_;
+};
+
+/// Extended Gale-Shapley for SMI: L proposes down its list; parties whose
+/// lists exhaust stay unmatched. Output is stable and L-optimal.
+[[nodiscard]] GaleShapleyResult gale_shapley_incomplete(const IncompleteProfile& profile);
+
+/// Blocking pairs of a partial matching: mutually acceptable pairs that
+/// both prefer each other over their current situation.
+[[nodiscard]] std::vector<std::pair<PartyId, PartyId>> incomplete_blocking_pairs(
+    const IncompleteProfile& profile, const Matching& m);
+
+[[nodiscard]] bool is_stable_incomplete(const IncompleteProfile& profile, const Matching& m);
+
+/// Exhaustive oracle over all partial matchings (test use; k <= 4).
+[[nodiscard]] std::vector<Matching> all_stable_incomplete_matchings(
+    const IncompleteProfile& profile);
+
+/// Random mutually-acceptable profile; each cross pair is acceptable with
+/// probability `density`.
+[[nodiscard]] IncompleteProfile random_incomplete_profile(std::uint32_t k, double density,
+                                                          std::uint64_t seed);
+
+}  // namespace bsm::matching

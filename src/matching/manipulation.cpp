@@ -1,0 +1,43 @@
+#include "matching/manipulation.hpp"
+
+#include <algorithm>
+
+namespace bsm::matching {
+
+std::optional<PreferenceList> beneficial_misreport(const PreferenceProfile& profile, PartyId id) {
+  require(profile.complete(), "beneficial_misreport: profile must be complete");
+  const std::uint32_t k = profile.k();
+  const PreferenceList truth = profile.list(id);
+
+  const PartyId honest_partner = gale_shapley(profile).matching[id];
+  // Rank (by the TRUE list) the party needs to beat; unmatched is worst,
+  // but complete lists always match everyone.
+  const std::uint32_t honest_rank = profile.rank(id, honest_partner);
+  if (honest_rank == 0) return std::nullopt;  // already gets its favorite
+
+  PreferenceList candidate = side_members(opposite(side_of(id, k)), k);
+  std::sort(candidate.begin(), candidate.end());
+  PreferenceProfile altered = profile;
+  do {
+    if (candidate == truth) continue;
+    altered.set(id, candidate);
+    const PartyId partner = gale_shapley(altered).matching[id];
+    if (partner != kNobody && profile.rank(id, partner) < honest_rank) {
+      return candidate;
+    }
+  } while (std::next_permutation(candidate.begin(), candidate.end()));
+  return std::nullopt;
+}
+
+bool is_truthful_for(const PreferenceProfile& profile, PartyId id) {
+  return !beneficial_misreport(profile, id).has_value();
+}
+
+bool side_is_truthful(const PreferenceProfile& profile, Side side) {
+  for (PartyId id : side_members(side, profile.k())) {
+    if (!is_truthful_for(profile, id)) return false;
+  }
+  return true;
+}
+
+}  // namespace bsm::matching

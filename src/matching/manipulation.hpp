@@ -1,0 +1,35 @@
+// Preference manipulation analysis — the adversarial model the paper
+// contrasts itself against (Related work: Roth [26], Gale-Shapley's
+// one-sided truthfulness, Huang's coalition cheating [16]).
+//
+// Roth: stable matching mechanisms are not truthful — some party can gain
+// by misreporting. Gale-Shapley: the *proposing* side never can. These
+// utilities decide, by exhaustive search over a party's possible reports,
+// whether a beneficial misreport exists under the (deterministic,
+// L-proposing) A_G-S of this library. They power tests and the byzantine
+// "liar" strategies' analysis; exponential in k, intended for small
+// markets.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "matching/gale_shapley.hpp"
+#include "matching/preferences.hpp"
+
+namespace bsm::matching {
+
+/// A misreport for `id` that yields a partner `id` *truly* strictly
+/// prefers to its truthful outcome (truth = profile's list). nullopt if no
+/// report helps. Exhaustive over all k! lists — keep k small (<= 6).
+[[nodiscard]] std::optional<PreferenceList> beneficial_misreport(const PreferenceProfile& profile,
+                                                                 PartyId id);
+
+/// True iff `id` cannot gain by misreporting (given everyone else truthful).
+[[nodiscard]] bool is_truthful_for(const PreferenceProfile& profile, PartyId id);
+
+/// True iff no party on `side` can gain by misreporting. For Side::Left
+/// under L-proposing A_G-S this is the Gale-Shapley truthfulness theorem.
+[[nodiscard]] bool side_is_truthful(const PreferenceProfile& profile, Side side);
+
+}  // namespace bsm::matching

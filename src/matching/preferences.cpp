@@ -1,0 +1,66 @@
+#include "matching/preferences.hpp"
+
+#include <algorithm>
+
+namespace bsm::matching {
+
+bool is_valid_preference_list(const PreferenceList& list, Side owner_side, std::uint32_t k) {
+  if (list.size() != k) return false;
+  std::vector<bool> seen(2 * k, false);
+  const Side target = opposite(owner_side);
+  for (PartyId id : list) {
+    if (id >= 2 * k || side_of(id, k) != target || seen[id]) return false;
+    seen[id] = true;
+  }
+  return true;
+}
+
+PreferenceList default_preference_list(Side owner_side, std::uint32_t k) {
+  return side_members(opposite(owner_side), k);
+}
+
+Bytes encode_preference_list(const PreferenceList& list) {
+  Writer w;
+  w.u32_vec(list);
+  return w.take();
+}
+
+std::optional<PreferenceList> decode_preference_list(const Bytes& bytes, Side owner_side,
+                                                     std::uint32_t k) {
+  Reader r(bytes);
+  PreferenceList list = r.u32_vec();
+  if (!r.done() || !is_valid_preference_list(list, owner_side, k)) return std::nullopt;
+  return list;
+}
+
+void PreferenceProfile::set(PartyId id, PreferenceList list) {
+  require(id < lists_.size(), "PreferenceProfile::set: bad id");
+  require(is_valid_preference_list(list, side_of(id, k_), k_),
+          "PreferenceProfile::set: invalid list");
+  lists_[id] = std::move(list);
+}
+
+const PreferenceList& PreferenceProfile::list(PartyId id) const {
+  require(id < lists_.size(), "PreferenceProfile::list: bad id");
+  return lists_[id];
+}
+
+std::uint32_t PreferenceProfile::rank(PartyId id, PartyId candidate) const {
+  const auto& l = list(id);
+  const auto it = std::find(l.begin(), l.end(), candidate);
+  require(it != l.end(), "PreferenceProfile::rank: candidate not in list");
+  return static_cast<std::uint32_t>(it - l.begin());
+}
+
+bool PreferenceProfile::prefers(PartyId id, PartyId a, PartyId b) const {
+  return rank(id, a) < rank(id, b);
+}
+
+bool PreferenceProfile::complete() const {
+  for (PartyId id = 0; id < lists_.size(); ++id) {
+    if (!is_valid_preference_list(lists_[id], side_of(id, k_), k_)) return false;
+  }
+  return true;
+}
+
+}  // namespace bsm::matching

@@ -1,0 +1,65 @@
+// Preference lists and profiles for a two-sided market of 2k parties.
+//
+// A preference list of party u is a permutation of the *global ids* of the
+// opposite side, most-preferred first. A profile holds one list per party.
+// Profiles travel over the network, so encoding, decoding, and validation
+// against byzantine-crafted bytes live here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/types.hpp"
+
+namespace bsm::matching {
+
+/// Permutation of the opposite side's global ids, most-preferred first.
+using PreferenceList = std::vector<PartyId>;
+
+/// True iff `list` is a permutation of the side opposite to `owner_side`.
+[[nodiscard]] bool is_valid_preference_list(const PreferenceList& list, Side owner_side,
+                                            std::uint32_t k);
+
+/// Canonical fallback list (ascending opposite-side ids); used whenever a
+/// party's broadcast list is missing or malformed — the paper assigns
+/// byzantine non-senders "a pre-defined default preference list".
+[[nodiscard]] PreferenceList default_preference_list(Side owner_side, std::uint32_t k);
+
+/// Wire encoding of a list.
+[[nodiscard]] Bytes encode_preference_list(const PreferenceList& list);
+
+/// Parse and validate; nullopt on malformed or invalid input.
+[[nodiscard]] std::optional<PreferenceList> decode_preference_list(const Bytes& bytes,
+                                                                   Side owner_side,
+                                                                   std::uint32_t k);
+
+/// One preference list per party (index = global id).
+class PreferenceProfile {
+ public:
+  PreferenceProfile() = default;
+  explicit PreferenceProfile(std::uint32_t k) : k_(k), lists_(2 * k) {}
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return 2 * k_; }
+
+  void set(PartyId id, PreferenceList list);
+  [[nodiscard]] const PreferenceList& list(PartyId id) const;
+
+  /// Rank of `candidate` in `id`'s list: 0 = most preferred. Parties always
+  /// prefer any listed candidate over being alone.
+  [[nodiscard]] std::uint32_t rank(PartyId id, PartyId candidate) const;
+
+  /// Does `id` strictly prefer `a` over `b`?
+  [[nodiscard]] bool prefers(PartyId id, PartyId a, PartyId b) const;
+
+  /// All lists present and valid?
+  [[nodiscard]] bool complete() const;
+
+ private:
+  std::uint32_t k_ = 0;
+  std::vector<PreferenceList> lists_;
+};
+
+}  // namespace bsm::matching

@@ -1,0 +1,117 @@
+#include "matching/ties.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "matching/stability.hpp"
+
+namespace bsm::matching {
+
+void TiedProfile::set(PartyId id, TieredList tiers) {
+  require(id < lists_.size(), "TiedProfile::set: bad id");
+  std::vector<bool> seen(2 * k_, false);
+  std::uint32_t count = 0;
+  const Side target = opposite(side_of(id, k_));
+  for (const auto& tier : tiers) {
+    require(!tier.empty(), "TiedProfile::set: empty tier");
+    for (PartyId c : tier) {
+      require(c < 2 * k_ && side_of(c, k_) == target && !seen[c],
+              "TiedProfile::set: tiers must partition the opposite side");
+      seen[c] = true;
+      ++count;
+    }
+  }
+  require(count == k_, "TiedProfile::set: tiers must cover the opposite side");
+  lists_[id] = std::move(tiers);
+}
+
+const TieredList& TiedProfile::tiers(PartyId id) const {
+  require(id < lists_.size(), "TiedProfile::tiers: bad id");
+  return lists_[id];
+}
+
+std::uint32_t TiedProfile::tier_of(PartyId id, PartyId candidate) const {
+  const auto& tiers = lists_[id];
+  for (std::uint32_t t = 0; t < tiers.size(); ++t) {
+    if (std::find(tiers[t].begin(), tiers[t].end(), candidate) != tiers[t].end()) return t;
+  }
+  require(false, "TiedProfile::tier_of: candidate not listed");
+  return 0;
+}
+
+bool TiedProfile::strictly_prefers(PartyId id, PartyId a, PartyId b) const {
+  return tier_of(id, a) < tier_of(id, b);
+}
+
+bool TiedProfile::complete() const {
+  for (PartyId id = 0; id < lists_.size(); ++id) {
+    std::uint32_t count = 0;
+    for (const auto& tier : lists_[id]) count += static_cast<std::uint32_t>(tier.size());
+    if (count != k_) return false;
+  }
+  return true;
+}
+
+PreferenceProfile break_ties(const TiedProfile& profile) {
+  PreferenceProfile strict(profile.k());
+  for (PartyId id = 0; id < profile.n(); ++id) {
+    PreferenceList list;
+    list.reserve(profile.k());
+    for (const auto& tier : profile.tiers(id)) {
+      auto sorted = tier;
+      std::sort(sorted.begin(), sorted.end());
+      list.insert(list.end(), sorted.begin(), sorted.end());
+    }
+    strict.set(id, std::move(list));
+  }
+  return strict;
+}
+
+GaleShapleyResult stable_matching_with_ties(const TiedProfile& profile) {
+  require(profile.complete(), "stable_matching_with_ties: incomplete profile");
+  return gale_shapley(break_ties(profile));
+}
+
+std::vector<std::pair<PartyId, PartyId>> weakly_blocking_pairs(const TiedProfile& profile,
+                                                               const Matching& m) {
+  const std::uint32_t k = profile.k();
+  require(m.size() == 2 * k, "weakly_blocking_pairs: matching size mismatch");
+  std::vector<std::pair<PartyId, PartyId>> out;
+  for (PartyId l = 0; l < k; ++l) {
+    for (PartyId r = k; r < 2 * k; ++r) {
+      if (m[l] == r) continue;
+      // Weak stability: both must *strictly* prefer the deviation.
+      const bool l_wants = m[l] == kNobody || profile.strictly_prefers(l, r, m[l]);
+      const bool r_wants = m[r] == kNobody || profile.strictly_prefers(r, l, m[r]);
+      if (l_wants && r_wants) out.emplace_back(l, r);
+    }
+  }
+  return out;
+}
+
+bool is_weakly_stable(const TiedProfile& profile, const Matching& m) {
+  return is_perfect_matching(m, profile.k()) && weakly_blocking_pairs(profile, m).empty();
+}
+
+TiedProfile random_tied_profile(std::uint32_t k, std::uint32_t mean_tier, std::uint64_t seed) {
+  require(mean_tier >= 1, "random_tied_profile: mean_tier must be positive");
+  Rng rng(seed);
+  TiedProfile profile(k);
+  for (PartyId id = 0; id < 2 * k; ++id) {
+    PreferenceList order = side_members(opposite(side_of(id, k)), k);
+    rng.shuffle(order);
+    TieredList tiers;
+    std::size_t i = 0;
+    while (i < order.size()) {
+      const std::size_t len = std::min<std::size_t>(1 + rng.below(2 * mean_tier - 1),
+                                                    order.size() - i);
+      tiers.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(i),
+                         order.begin() + static_cast<std::ptrdiff_t>(i + len));
+      i += len;
+    }
+    profile.set(id, std::move(tiers));
+  }
+  return profile;
+}
+
+}  // namespace bsm::matching

@@ -1,0 +1,66 @@
+// Stable matching with ties — the second classical variant the paper's
+// introduction cites from Gusfield & Irving [13]: preference lists may
+// contain indifference classes ("tiers"). Under *weak stability* — a pair
+// blocks only if both strictly prefer each other — a stable matching
+// always exists: break ties arbitrarily and run Gale-Shapley; any such
+// matching is weakly stable for the tied instance.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "matching/gale_shapley.hpp"
+#include "matching/preferences.hpp"
+
+namespace bsm::matching {
+
+/// A complete-with-ties list: tiers of equally preferred candidates, best
+/// tier first; the tiers partition the opposite side.
+using TieredList = std::vector<std::vector<PartyId>>;
+
+class TiedProfile {
+ public:
+  TiedProfile() = default;
+  explicit TiedProfile(std::uint32_t k) : k_(k), lists_(2 * k) {}
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return 2 * k_; }
+
+  /// Tiers must partition the opposite side; throws otherwise.
+  void set(PartyId id, TieredList tiers);
+  [[nodiscard]] const TieredList& tiers(PartyId id) const;
+
+  /// Tier index of candidate (0 best).
+  [[nodiscard]] std::uint32_t tier_of(PartyId id, PartyId candidate) const;
+  /// Strict preference: a in a strictly better tier than b.
+  [[nodiscard]] bool strictly_prefers(PartyId id, PartyId a, PartyId b) const;
+
+  [[nodiscard]] bool complete() const;
+
+ private:
+  std::uint32_t k_ = 0;
+  std::vector<TieredList> lists_;
+};
+
+/// Break every tie by ascending id (deterministic — all honest parties
+/// derive identical strict profiles from identical tied profiles).
+[[nodiscard]] PreferenceProfile break_ties(const TiedProfile& profile);
+
+/// Tie-break deterministically, run A_G-S: a weakly stable matching.
+[[nodiscard]] GaleShapleyResult stable_matching_with_ties(const TiedProfile& profile);
+
+/// Pairs in which *both* members strictly prefer each other over their
+/// current partners (being unmatched is strictly worst).
+[[nodiscard]] std::vector<std::pair<PartyId, PartyId>> weakly_blocking_pairs(
+    const TiedProfile& profile, const Matching& m);
+
+[[nodiscard]] bool is_weakly_stable(const TiedProfile& profile, const Matching& m);
+
+/// Random tied profile: a random permutation cut into tiers with expected
+/// size `mean_tier`.
+[[nodiscard]] TiedProfile random_tied_profile(std::uint32_t k, std::uint32_t mean_tier,
+                                              std::uint64_t seed);
+
+}  // namespace bsm::matching

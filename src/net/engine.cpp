@@ -1,0 +1,151 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace bsm::net {
+
+namespace {
+
+/// The engine-backed context: validates channel use and collects sends.
+class EngineContext final : public Context {
+ public:
+  EngineContext(PartyId self, Round round, const Topology& topo, const crypto::Pki& pki,
+                crypto::Signer signer, std::vector<Envelope>& out, bool corrupt)
+      : self_(self),
+        round_(round),
+        topo_(&topo),
+        pki_(&pki),
+        signer_(signer),
+        out_(&out),
+        corrupt_(corrupt) {}
+
+  void send(PartyId to, const Bytes& payload) override {
+    const bool channel = to == self_ || topo_->connected(self_, to);
+    if (!channel) {
+      // Honest code sending along a nonexistent channel is a bug; byzantine
+      // code gets the message silently dropped (it has no such channel).
+      require(corrupt_, "Context::send: honest process used a nonexistent channel");
+      return;
+    }
+    out_->push_back(Envelope{self_, to, round_, payload});
+  }
+
+  [[nodiscard]] Round round() const override { return round_; }
+  [[nodiscard]] PartyId self() const override { return self_; }
+  [[nodiscard]] const Topology& topology() const override { return *topo_; }
+  [[nodiscard]] const crypto::Signer& signer() const override { return signer_; }
+  [[nodiscard]] const crypto::Pki& pki() const override { return *pki_; }
+
+ private:
+  PartyId self_;
+  Round round_;
+  const Topology* topo_;
+  const crypto::Pki* pki_;
+  crypto::Signer signer_;
+  std::vector<Envelope>* out_;
+  bool corrupt_;
+};
+
+}  // namespace
+
+Engine::Engine(Topology topo, std::uint64_t pki_seed)
+    : topo_(topo), pki_(topo.n(), pki_seed), slots_(topo.n()) {}
+
+void Engine::set_process(PartyId id, std::unique_ptr<Process> process) {
+  require(id < slots_.size(), "Engine::set_process: bad id");
+  slots_[id].process = std::move(process);
+}
+
+void Engine::set_corrupt(PartyId id, std::unique_ptr<Process> strategy) {
+  require(id < slots_.size(), "Engine::set_corrupt: bad id");
+  slots_[id].process = std::move(strategy);
+  slots_[id].corrupt = true;
+}
+
+void Engine::schedule_corruption(PartyId id, Round when, std::unique_ptr<Process> strategy) {
+  require(id < slots_.size(), "Engine::schedule_corruption: bad id");
+  pending_corruptions_[id] = PendingCorruption{when, std::move(strategy)};
+}
+
+bool Engine::is_corrupt(PartyId id) const {
+  require(id < slots_.size(), "Engine::is_corrupt: bad id");
+  return slots_[id].corrupt;
+}
+
+std::vector<bool> Engine::corrupt_mask() const {
+  std::vector<bool> mask(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) mask[i] = slots_[i].corrupt;
+  return mask;
+}
+
+Process& Engine::process(PartyId id) {
+  require(id < slots_.size() && slots_[id].process != nullptr, "Engine::process: none installed");
+  return *slots_[id].process;
+}
+
+const Process& Engine::process(PartyId id) const {
+  require(id < slots_.size() && slots_[id].process != nullptr, "Engine::process: none installed");
+  return *slots_[id].process;
+}
+
+std::uint64_t Engine::view_hash(PartyId id) const {
+  require(id < slots_.size(), "Engine::view_hash: bad id");
+  return slots_[id].view;
+}
+
+void Engine::deliver_and_step() {
+  // Fire scheduled corruptions that are due this round.
+  for (auto it = pending_corruptions_.begin(); it != pending_corruptions_.end();) {
+    if (it->second.when <= round_) {
+      slots_[it->first].process = std::move(it->second.strategy);
+      slots_[it->first].corrupt = true;
+      it = pending_corruptions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Group last round's messages by recipient, ordered by sender id (stable:
+  // in_flight_ already holds sends in deterministic generation order).
+  std::vector<std::vector<Envelope>> inbox(slots_.size());
+  std::stable_sort(in_flight_.begin(), in_flight_.end(),
+                   [](const Envelope& a, const Envelope& b) { return a.from < b.from; });
+  for (auto& env : in_flight_) {
+    inbox[env.to].push_back(std::move(env));
+  }
+  in_flight_.clear();
+
+  // Fold delivered messages into each recipient's view digest.
+  for (PartyId id = 0; id < slots_.size(); ++id) {
+    std::uint64_t v = slots_[id].view;
+    v = hash_combine(v, round_);
+    for (const auto& env : inbox[id]) {
+      v = hash_combine(v, env.from);
+      v = hash_combine(v, fnv1a64(env.payload));
+      if (observer_) observer_(env);
+    }
+    slots_[id].view = v;
+  }
+
+  // Step every installed process.
+  std::vector<Envelope> outgoing;
+  for (PartyId id = 0; id < slots_.size(); ++id) {
+    auto& slot = slots_[id];
+    if (slot.process == nullptr) continue;
+    EngineContext ctx(id, round_, topo_, pki_, pki_.signer_for(id), outgoing, slot.corrupt);
+    slot.process->on_round(ctx, inbox[id]);
+  }
+
+  stats_.messages += outgoing.size();
+  for (const auto& env : outgoing) stats_.bytes += env.payload.size();
+  in_flight_ = std::move(outgoing);
+  ++round_;
+}
+
+void Engine::run(Round rounds) {
+  for (Round i = 0; i < rounds; ++i) deliver_and_step();
+}
+
+}  // namespace bsm::net

@@ -1,0 +1,102 @@
+// Deterministic lock-step synchronous network engine.
+//
+// One engine round models the paper's delay bound Delta: every message sent
+// in round r is delivered at round r+1. The engine also implements the
+// corruption model: parties can be marked byzantine from the start or have
+// a corruption scheduled mid-run (the adaptive adversary), at which point
+// the adversarial strategy process replaces the honest one.
+//
+// For the impossibility experiments the engine records, per party, a hash
+// of everything the party has received — two runs are indistinguishable to
+// party P exactly when P's view hashes agree round for round.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/pki.hpp"
+#include "net/process.hpp"
+#include "net/topology.hpp"
+
+namespace bsm::net {
+
+/// Aggregate traffic statistics for benchmark harnesses.
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Engine {
+ public:
+  Engine(Topology topo, std::uint64_t pki_seed);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const crypto::Pki& pki() const noexcept { return pki_; }
+
+  /// Install the code a party runs from round 0.
+  void set_process(PartyId id, std::unique_ptr<Process> process);
+
+  /// Mark `id` byzantine from the start; its process is the adversary's.
+  void set_corrupt(PartyId id, std::unique_ptr<Process> strategy);
+
+  /// Adaptive corruption: at the start of `when`, `id` becomes byzantine
+  /// and `strategy` takes over (the honest process is discarded).
+  void schedule_corruption(PartyId id, Round when, std::unique_ptr<Process> strategy);
+
+  /// Run rounds [current, current + rounds).
+  void run(Round rounds);
+
+  [[nodiscard]] Round current_round() const noexcept { return round_; }
+  [[nodiscard]] bool is_corrupt(PartyId id) const;
+  [[nodiscard]] std::vector<bool> corrupt_mask() const;
+
+  /// The installed process (for reading protocol outputs after a run).
+  [[nodiscard]] Process& process(PartyId id);
+  [[nodiscard]] const Process& process(PartyId id) const;
+
+  template <typename T>
+  [[nodiscard]] T& process_as(PartyId id) {
+    return dynamic_cast<T&>(process(id));
+  }
+
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+
+  /// Digest of everything `id` has received so far (its "view"). Runs with
+  /// equal view hashes are indistinguishable to that party.
+  [[nodiscard]] std::uint64_t view_hash(PartyId id) const;
+
+  /// Wiretap for tests and tooling: called once per *delivered* envelope
+  /// (at the start of the round it arrives in). Observation only — the
+  /// observer cannot alter traffic.
+  using Observer = std::function<void(const Envelope&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Process> process;
+    bool corrupt = false;
+    std::uint64_t view = 0x9e3779b97f4a7c15ULL;
+  };
+
+  struct PendingCorruption {
+    Round when = 0;
+    std::unique_ptr<Process> strategy;
+  };
+
+  void deliver_and_step();
+
+  Topology topo_;
+  crypto::Pki pki_;
+  std::vector<Slot> slots_;
+  std::map<PartyId, PendingCorruption> pending_corruptions_;
+  std::vector<Envelope> in_flight_;
+  Round round_ = 0;
+  TrafficStats stats_;
+  Observer observer_;
+};
+
+}  // namespace bsm::net

@@ -1,0 +1,62 @@
+// The process model: every party (honest or byzantine) is a `Process`
+// driven once per synchronous round by the engine.
+//
+// Semantics: a message sent during round r is delivered at the beginning of
+// round r+1 (one round == the paper's known delay bound Delta). The inbox a
+// process sees at round r therefore contains exactly the messages addressed
+// to it that were sent in round r-1, ordered by sender id (determinism).
+//
+// `Context` is abstract so that adversary strategies can interpose shims
+// (message filtering, dual-world simulation) around honest process code —
+// exactly the "byzantine party internally simulates honest instances"
+// device used by the paper's impossibility proofs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/pki.hpp"
+#include "net/topology.hpp"
+
+namespace bsm::net {
+
+/// A physical message in flight or delivered.
+struct Envelope {
+  PartyId from = kNobody;
+  PartyId to = kNobody;
+  Round sent_round = 0;
+  Bytes payload;
+};
+
+/// Per-round services the engine (or an adversarial shim) offers a process.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// Queue `payload` for delivery to `to` next round. Sends to parties the
+  /// sender shares no channel with are dropped (self-sends are allowed and
+  /// loop back next round — protocols routinely "send to all incl. self").
+  virtual void send(PartyId to, const Bytes& payload) = 0;
+
+  [[nodiscard]] virtual Round round() const = 0;
+  [[nodiscard]] virtual PartyId self() const = 0;
+  [[nodiscard]] virtual const Topology& topology() const = 0;
+  /// Signing capability for this party's own identity only.
+  [[nodiscard]] virtual const crypto::Signer& signer() const = 0;
+  [[nodiscard]] virtual const crypto::Pki& pki() const = 0;
+};
+
+/// A party's code. Honest protocol implementations and byzantine strategies
+/// share this interface; the engine merely tracks which ids are corrupt.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Called once per round, in increasing round order, starting at round 0
+  /// (whose inbox is always empty).
+  virtual void on_round(Context& ctx, const std::vector<Envelope>& inbox) = 0;
+};
+
+}  // namespace bsm::net

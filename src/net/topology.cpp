@@ -1,0 +1,48 @@
+#include "net/topology.hpp"
+
+namespace bsm::net {
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::FullyConnected: return "fully-connected";
+    case TopologyKind::OneSided: return "one-sided";
+    case TopologyKind::Bipartite: return "bipartite";
+  }
+  return "?";
+}
+
+Topology::Topology(TopologyKind kind, std::uint32_t k) : kind_(kind), k_(k) {
+  require(k >= 1, "Topology: k must be at least 1");
+}
+
+bool Topology::connected(PartyId a, PartyId b) const noexcept {
+  if (a == b || a >= n() || b >= n()) return false;
+  const Side sa = side_of(a, k_);
+  const Side sb = side_of(b, k_);
+  if (sa != sb) return true;  // cross-side channels exist in every topology
+  switch (kind_) {
+    case TopologyKind::FullyConnected: return true;
+    case TopologyKind::OneSided: return sa == Side::Right;  // only R is internally connected
+    case TopologyKind::Bipartite: return false;
+  }
+  return false;
+}
+
+std::vector<PartyId> Topology::neighbors(PartyId id) const {
+  std::vector<PartyId> out;
+  for (PartyId other = 0; other < n(); ++other) {
+    if (connected(id, other)) out.push_back(other);
+  }
+  return out;
+}
+
+bool Topology::side_connected(Side side) const noexcept {
+  switch (kind_) {
+    case TopologyKind::FullyConnected: return true;
+    case TopologyKind::OneSided: return side == Side::Right;
+    case TopologyKind::Bipartite: return false;
+  }
+  return false;
+}
+
+}  // namespace bsm::net

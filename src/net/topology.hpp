@@ -1,0 +1,48 @@
+// The three communication topologies of the paper (Figure 1).
+//
+//  - FullyConnected: every pair of parties shares a channel.
+//  - OneSided:       like FullyConnected but parties within L cannot talk
+//                    to each other directly.
+//  - Bipartite:      only pairs in L x R share a channel.
+//
+// Channels are bidirectional and authenticated: the engine stamps the true
+// sender on every envelope, so a receiver always knows who a (physical)
+// message came from. Matching is always across sides regardless of which
+// extra channels exist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bsm::net {
+
+enum class TopologyKind : std::uint8_t { FullyConnected, OneSided, Bipartite };
+
+[[nodiscard]] std::string to_string(TopologyKind kind);
+
+class Topology {
+ public:
+  Topology(TopologyKind kind, std::uint32_t k);
+
+  [[nodiscard]] TopologyKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return 2 * k_; }
+
+  /// Physical channel between two distinct parties?
+  [[nodiscard]] bool connected(PartyId a, PartyId b) const noexcept;
+
+  /// All parties sharing a channel with `id`, ascending.
+  [[nodiscard]] std::vector<PartyId> neighbors(PartyId id) const;
+
+  /// True iff the members of `side` are pairwise connected.
+  [[nodiscard]] bool side_connected(Side side) const noexcept;
+
+ private:
+  TopologyKind kind_;
+  std::uint32_t k_;
+};
+
+}  // namespace bsm::net

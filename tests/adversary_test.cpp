@@ -1,0 +1,176 @@
+// Tests for the adversary toolbox itself: strategies behave as specified,
+// shims filter correctly, and split-brain keeps its two worlds apart.
+#include <gtest/gtest.h>
+
+#include "adversary/shims.hpp"
+#include "adversary/strategies.hpp"
+#include "net/engine.hpp"
+
+namespace bsm::adversary {
+namespace {
+
+/// Echoes a fixed payload to one peer each round; records all inbox bytes.
+class Beacon final : public net::Process {
+ public:
+  Beacon(PartyId peer, Bytes payload) : peer_(peer), payload_(std::move(payload)) {}
+
+  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+    ctx.send(peer_, payload_);
+    for (const auto& env : inbox) heard_.push_back(env.payload);
+  }
+
+  std::vector<Bytes> heard_;
+
+ private:
+  PartyId peer_;
+  Bytes payload_;
+};
+
+TEST(Strategies, SilentSendsNothing) {
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 1), 1);
+  engine.set_corrupt(0, std::make_unique<Silent>());
+  engine.set_process(1, std::make_unique<Beacon>(0, Bytes{1}));
+  engine.run(4);
+  EXPECT_TRUE(dynamic_cast<Beacon&>(engine.process(1)).heard_.empty());
+}
+
+TEST(Strategies, CrashAtStopsMidway) {
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 1), 1);
+  engine.set_corrupt(0, std::make_unique<CrashAt>(2, std::make_unique<Beacon>(1, Bytes{7})));
+  engine.set_process(1, std::make_unique<Beacon>(0, Bytes{1}));
+  engine.run(6);
+  // Sends at rounds 0 and 1 only -> two deliveries.
+  EXPECT_EQ(dynamic_cast<Beacon&>(engine.process(1)).heard_.size(), 2U);
+}
+
+TEST(Strategies, RandomNoiseIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 1), 1);
+    engine.set_corrupt(0, std::make_unique<RandomNoise>(seed, 2));
+    engine.set_process(1, std::make_unique<Beacon>(0, Bytes{1}));
+    engine.run(4);
+    return engine.view_hash(1);
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+TEST(Strategies, ReplayerEchoesTraffic) {
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 1), 1);
+  engine.set_process(0, std::make_unique<Beacon>(1, Bytes{9}));
+  engine.set_corrupt(1, std::make_unique<Replayer>());
+  engine.run(4);
+  const auto& heard = dynamic_cast<Beacon&>(engine.process(0)).heard_;
+  ASSERT_FALSE(heard.empty());
+  EXPECT_EQ(heard.front(), Bytes{9});
+}
+
+TEST(Shims, SendFilteredDropsSelectedTraffic) {
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 2), 1);
+  auto inner = std::make_unique<Beacon>(1, Bytes{5});
+  engine.set_corrupt(0, std::make_unique<SendFiltered>(
+                            std::move(inner), [](PartyId to, const Bytes&) { return to != 1; }));
+  for (PartyId id = 1; id < 4; ++id) {
+    engine.set_process(id, std::make_unique<Beacon>(2, Bytes{std::uint8_t(id)}));
+  }
+  engine.run(3);
+  EXPECT_TRUE(dynamic_cast<Beacon&>(engine.process(1)).heard_.empty());
+}
+
+TEST(Shims, SplitBrainSeparatesWorlds) {
+  // Byzantine party 0 runs two beacons with different payloads; group 0 =
+  // {1}, group 1 = {2, 3}. Each group must hear only its world's payload.
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 2), 1);
+  engine.set_corrupt(0, std::make_unique<SplitBrain>(
+                            std::make_unique<Beacon>(1, Bytes{10}),
+                            std::make_unique<Beacon>(2, Bytes{20}),
+                            [](PartyId p) { return p == 1 ? 0 : 1; }));
+  for (PartyId id = 1; id < 4; ++id) {
+    engine.set_process(id, std::make_unique<Beacon>(0, Bytes{std::uint8_t(id)}));
+  }
+  engine.run(4);
+  for (const auto& payload : dynamic_cast<Beacon&>(engine.process(1)).heard_) {
+    EXPECT_EQ(payload, Bytes{10});
+  }
+  for (const auto& payload : dynamic_cast<Beacon&>(engine.process(2)).heard_) {
+    EXPECT_EQ(payload, Bytes{20});
+  }
+  EXPECT_FALSE(dynamic_cast<Beacon&>(engine.process(1)).heard_.empty());
+  EXPECT_FALSE(dynamic_cast<Beacon&>(engine.process(2)).heard_.empty());
+}
+
+TEST(Shims, SplitBrainRoutesInboxByGroup) {
+  // World 0's instance must only hear from group 0.
+  class Recorder final : public net::Process {
+   public:
+    void on_round(net::Context&, const std::vector<net::Envelope>& inbox) override {
+      for (const auto& env : inbox) senders_.push_back(env.from);
+    }
+    std::vector<PartyId> senders_;
+  };
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 2), 1);
+  auto rec0 = std::make_unique<Recorder>();
+  auto* rec0_ptr = rec0.get();
+  auto rec1 = std::make_unique<Recorder>();
+  auto* rec1_ptr = rec1.get();
+  engine.set_corrupt(0, std::make_unique<SplitBrain>(std::move(rec0), std::move(rec1),
+                                                     [](PartyId p) { return p == 1 ? 0 : 1; }));
+  for (PartyId id = 1; id < 4; ++id) {
+    engine.set_process(id, std::make_unique<Beacon>(0, Bytes{std::uint8_t(id)}));
+  }
+  engine.run(3);
+  for (PartyId from : rec0_ptr->senders_) EXPECT_EQ(from, 1U);
+  for (PartyId from : rec1_ptr->senders_) EXPECT_NE(from, 1U);
+  EXPECT_FALSE(rec0_ptr->senders_.empty());
+  EXPECT_FALSE(rec1_ptr->senders_.empty());
+}
+
+TEST(Shims, ConspiratorTrafficCarriesWorldTags) {
+  // Two conspirators exchange world-tagged traffic: world 0 instances talk
+  // to each other, world 1 instances likewise, with no cross-talk.
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 2), 1);
+  auto make_split = [](PartyId peer, std::uint8_t w0, std::uint8_t w1) {
+    return std::make_unique<SplitBrain>(std::make_unique<Beacon>(peer, Bytes{w0}),
+                                        std::make_unique<Beacon>(peer, Bytes{w1}),
+                                        [](PartyId) { return 0; }, std::set<PartyId>{0, 1});
+  };
+  engine.set_corrupt(0, make_split(1, 100, 101));
+  engine.set_corrupt(1, make_split(0, 200, 201));
+  engine.set_process(2, std::make_unique<Silent>());
+  engine.set_process(3, std::make_unique<Silent>());
+  EXPECT_NO_THROW(engine.run(4));
+  // The worlds stay consistent: nothing observable from outside, but the
+  // run must not crash and honest parties hear nothing.
+}
+
+TEST(Shims, SplitBrainSelfSendsStayInWorld) {
+  // A process that self-sends and counts its own echoes: each world must
+  // see exactly its own self-traffic.
+  class SelfCounter final : public net::Process {
+   public:
+    explicit SelfCounter(std::uint8_t tag) : tag_(tag) {}
+    void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+      ctx.send(ctx.self(), Bytes{tag_});
+      for (const auto& env : inbox) {
+        ASSERT_EQ(env.payload, Bytes{tag_});  // never the other world's tag
+        ++echoes_;
+      }
+    }
+    std::uint8_t tag_;
+    int echoes_ = 0;
+  };
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 1), 1);
+  auto c0 = std::make_unique<SelfCounter>(1);
+  auto* c0_ptr = c0.get();
+  auto c1 = std::make_unique<SelfCounter>(2);
+  auto* c1_ptr = c1.get();
+  engine.set_corrupt(0, std::make_unique<SplitBrain>(std::move(c0), std::move(c1),
+                                                     [](PartyId) { return 0; }));
+  engine.set_process(1, std::make_unique<Silent>());
+  engine.run(5);
+  EXPECT_EQ(c0_ptr->echoes_, 4);
+  EXPECT_EQ(c1_ptr->echoes_, 4);
+}
+
+}  // namespace
+}  // namespace bsm::adversary

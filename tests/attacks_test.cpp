@@ -1,0 +1,99 @@
+// The impossibility constructions as regression tests: each attack must
+// keep breaking a bSM property in its out-of-threshold setting, while the
+// same adversarial style inside the solvable region must stay harmless.
+// For Lemma 13 we additionally check the proof's indistinguishability
+// argument on the engine's view hashes.
+#include <gtest/gtest.h>
+
+#include "adversary/attacks.hpp"
+#include "core/runner.hpp"
+
+namespace bsm::adversary {
+namespace {
+
+TEST(Lemma5, AttackBreaksAProperty) {
+  auto art = build_lemma5();
+  const auto out = core::run_bsm(std::move(art.attack));
+  EXPECT_FALSE(out.report.all()) << "tL = tR = k/3 must be attackable (Theorem 2)";
+}
+
+TEST(Lemma5, AttackBreaksNonCompetitionSpecifically) {
+  auto art = build_lemma5();
+  const auto out = core::run_bsm(std::move(art.attack));
+  // The proof's outcome: a and c both decide to match v.
+  ASSERT_TRUE(out.decisions[art.a].has_value());
+  ASSERT_TRUE(out.decisions[art.c].has_value());
+  EXPECT_EQ(*out.decisions[art.a], art.v);
+  EXPECT_EQ(*out.decisions[art.c], art.v);
+  EXPECT_FALSE(out.report.non_competition);
+}
+
+TEST(Lemma5, SameAdversaryInRegionIsHarmless) {
+  auto art = build_lemma5();
+  const auto out = core::run_bsm(std::move(art.in_region));
+  EXPECT_TRUE(out.report.all()) << out.report.summary();
+}
+
+TEST(Lemma7, AttackBreaksAProperty) {
+  auto art = build_lemma7();
+  const auto out = core::run_bsm(std::move(art.attack));
+  EXPECT_FALSE(out.report.all()) << "tR >= k/2 in one-sided must be attackable (Theorem 4)";
+  EXPECT_FALSE(out.report.non_competition && out.report.symmetry)
+      << "the split must make the disconnected side disagree";
+}
+
+TEST(Lemma7, SameAdversaryInRegionIsHarmless) {
+  auto art = build_lemma7();
+  const auto out = core::run_bsm(std::move(art.in_region));
+  EXPECT_TRUE(out.report.all()) << out.report.summary();
+}
+
+TEST(Lemma13, AttackBreaksNonCompetition) {
+  auto art = build_lemma13();
+  const auto out = core::run_bsm(std::move(art.attack));
+  ASSERT_TRUE(out.decisions[art.a].has_value());
+  ASSERT_TRUE(out.decisions[art.c].has_value());
+  EXPECT_EQ(*out.decisions[art.a], art.v);
+  EXPECT_EQ(*out.decisions[art.c], art.v);
+  EXPECT_FALSE(out.report.non_competition);
+}
+
+TEST(Lemma13, BaselinesForceTheMatch) {
+  // The two crash scenarios of the proof: simplified stability forces a
+  // (resp. c) to match v when everyone else is honest.
+  auto art = build_lemma13();
+  const auto out_a = core::run_bsm(std::move(art.baseline_a));
+  ASSERT_TRUE(out_a.decisions[art.a].has_value());
+  EXPECT_EQ(*out_a.decisions[art.a], art.v);
+  EXPECT_TRUE(out_a.report.all()) << out_a.report.summary();
+
+  const auto out_c = core::run_bsm(std::move(art.baseline_c));
+  ASSERT_TRUE(out_c.decisions[art.c].has_value());
+  EXPECT_EQ(*out_c.decisions[art.c], art.v);
+  EXPECT_TRUE(out_c.report.all()) << out_c.report.summary();
+}
+
+TEST(Lemma13, AttackIndistinguishableFromBaselines) {
+  // The heart of the proof: a's whole view is identical between the attack
+  // and baseline_a (and symmetrically for c), hence their decisions carry
+  // over into the attack run where they collide on v.
+  auto art1 = build_lemma13();
+  auto art2 = build_lemma13();
+  auto art3 = build_lemma13();
+  const auto attack = core::run_bsm(std::move(art1.attack));
+  const auto base_a = core::run_bsm(std::move(art2.baseline_a));
+  const auto base_c = core::run_bsm(std::move(art3.baseline_c));
+  EXPECT_EQ(attack.view_hashes[art1.a], base_a.view_hashes[art1.a])
+      << "party a can distinguish the attack from its baseline";
+  EXPECT_EQ(attack.view_hashes[art1.c], base_c.view_hashes[art1.c])
+      << "party c can distinguish the attack from its baseline";
+}
+
+TEST(Lemma13, SameAdversaryInRegionIsHarmless) {
+  auto art = build_lemma13();
+  const auto out = core::run_bsm(std::move(art.in_region));
+  EXPECT_TRUE(out.report.all()) << out.report.summary();
+}
+
+}  // namespace
+}  // namespace bsm::adversary

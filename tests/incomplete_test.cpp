@@ -1,0 +1,130 @@
+// Tests for stable matching with incomplete lists (SMI): extended
+// Gale-Shapley against the brute-force oracle, and the Gusfield-Irving
+// invariant that all stable matchings match the same set of parties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matching/incomplete.hpp"
+
+namespace bsm::matching {
+namespace {
+
+IncompleteProfile tiny() {
+  // k = 2; only some pairs acceptable.
+  IncompleteProfile p(2);
+  p.set(0, {2, 3});
+  p.set(1, {2});
+  p.set(2, {1, 0});
+  p.set(3, {0});
+  return p;
+}
+
+TEST(Incomplete, ConsistencyRequiresMutualAcceptability) {
+  EXPECT_TRUE(tiny().consistent());
+  IncompleteProfile bad(2);
+  bad.set(0, {2});
+  bad.set(1, {});
+  bad.set(2, {});  // 2 does not list 0 back
+  bad.set(3, {});
+  EXPECT_FALSE(bad.consistent());
+}
+
+TEST(Incomplete, SetRejectsMalformedLists) {
+  IncompleteProfile p(2);
+  EXPECT_THROW(p.set(0, {1}), std::logic_error);     // own side
+  EXPECT_THROW(p.set(0, {2, 2}), std::logic_error);  // duplicate
+  EXPECT_THROW(p.set(0, {9}), std::logic_error);     // out of range
+}
+
+TEST(Incomplete, ExtendedGaleShapleyOnTinyInstance) {
+  const auto result = gale_shapley_incomplete(tiny());
+  EXPECT_TRUE(is_stable_incomplete(tiny(), result.matching));
+  // 1 is only acceptable to 2 and vice versa for 3-0: GS gives 0-3? L-optimal:
+  // 0 proposes 2; 2 prefers 1 over 0 but holds 0 until 1 proposes. Final
+  // stable matchings must match everyone here: 0-3 and 1-2.
+  EXPECT_EQ(result.matching[1], 2U);
+  EXPECT_EQ(result.matching[0], 3U);
+}
+
+TEST(Incomplete, UnmatchablePartiesStayAlone) {
+  IncompleteProfile p(2);
+  p.set(0, {2});
+  p.set(1, {});  // 1 accepts nobody
+  p.set(2, {0});
+  p.set(3, {});  // 3 acceptable to nobody
+  const auto result = gale_shapley_incomplete(p);
+  EXPECT_EQ(result.matching[0], 2U);
+  EXPECT_EQ(result.matching[1], kNobody);
+  EXPECT_EQ(result.matching[3], kNobody);
+  EXPECT_TRUE(is_stable_incomplete(p, result.matching));
+}
+
+TEST(Incomplete, EmptyProfileIsTriviallyStable) {
+  IncompleteProfile p(2);
+  for (PartyId id = 0; id < 4; ++id) p.set(id, {});
+  const auto result = gale_shapley_incomplete(p);
+  EXPECT_EQ(result.proposals, 0U);
+  EXPECT_TRUE(is_stable_incomplete(p, result.matching));
+}
+
+class IncompleteRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncompleteRandom, OutputStableAndAmongOracle) {
+  for (const double density : {0.3, 0.6, 0.9}) {
+    const auto p = random_incomplete_profile(3, density, GetParam() * 31 + 7);
+    ASSERT_TRUE(p.consistent());
+    const auto result = gale_shapley_incomplete(p);
+    EXPECT_TRUE(is_stable_incomplete(p, result.matching));
+    const auto oracle = all_stable_incomplete_matchings(p);
+    ASSERT_FALSE(oracle.empty());  // SMI always admits a stable matching
+    EXPECT_NE(std::find(oracle.begin(), oracle.end(), result.matching), oracle.end());
+  }
+}
+
+TEST_P(IncompleteRandom, RuralHospitalsInvariant) {
+  // Gusfield-Irving: every stable matching of an SMI instance matches
+  // exactly the same set of parties.
+  const auto p = random_incomplete_profile(3, 0.5, GetParam() * 97 + 3);
+  const auto oracle = all_stable_incomplete_matchings(p);
+  ASSERT_FALSE(oracle.empty());
+  std::set<PartyId> matched0;
+  for (PartyId id = 0; id < p.n(); ++id) {
+    if (oracle.front()[id] != kNobody) matched0.insert(id);
+  }
+  for (const auto& m : oracle) {
+    std::set<PartyId> matched;
+    for (PartyId id = 0; id < p.n(); ++id) {
+      if (m[id] != kNobody) matched.insert(id);
+    }
+    EXPECT_EQ(matched, matched0);
+  }
+}
+
+TEST_P(IncompleteRandom, LOptimalAmongStableMatchings) {
+  const auto p = random_incomplete_profile(3, 0.7, GetParam() * 11 + 1);
+  const auto m = gale_shapley_incomplete(p).matching;
+  for (const auto& other : all_stable_incomplete_matchings(p)) {
+    for (PartyId l = 0; l < p.k(); ++l) {
+      if (m[l] == kNobody) {
+        // Rural hospitals: l is unmatched in every stable matching.
+        EXPECT_EQ(other[l], kNobody);
+      } else if (other[l] != kNobody) {
+        EXPECT_LE(p.rank(l, m[l]), p.rank(l, other[l]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncompleteRandom, ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Incomplete, FullDensityMatchesClassicGaleShapley) {
+  // density 1.0 reduces SMI to the classic problem.
+  const auto p = random_incomplete_profile(4, 1.0, 5);
+  const auto result = gale_shapley_incomplete(p);
+  for (PartyId id = 0; id < 8; ++id) EXPECT_NE(result.matching[id], kNobody);
+  EXPECT_TRUE(is_stable_incomplete(p, result.matching));
+}
+
+}  // namespace
+}  // namespace bsm::matching

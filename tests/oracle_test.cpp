@@ -1,0 +1,144 @@
+// Tests for the solvability oracle against the paper's stated conditions,
+// and consistency between the oracle and the protocol factory.
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "core/oracle.hpp"
+
+namespace bsm::core {
+namespace {
+
+using net::TopologyKind;
+
+BsmConfig cfg(TopologyKind topo, bool auth, std::uint32_t k, std::uint32_t tl, std::uint32_t tr) {
+  return BsmConfig{topo, auth, k, tl, tr};
+}
+
+TEST(Oracle, UnauthFullyConnectedNeedsOneThirdSide) {
+  // k = 3: k/3 = 1, so some t must be 0.
+  EXPECT_TRUE(solvable(cfg(TopologyKind::FullyConnected, false, 3, 0, 3)));
+  EXPECT_TRUE(solvable(cfg(TopologyKind::FullyConnected, false, 3, 3, 0)));
+  EXPECT_FALSE(solvable(cfg(TopologyKind::FullyConnected, false, 3, 1, 1)));
+  // k = 7: t < 7/3 means t <= 2.
+  EXPECT_TRUE(solvable(cfg(TopologyKind::FullyConnected, false, 7, 2, 7)));
+  EXPECT_FALSE(solvable(cfg(TopologyKind::FullyConnected, false, 7, 3, 3)));
+}
+
+TEST(Oracle, UnauthBipartiteAddsHalfConditions) {
+  EXPECT_TRUE(solvable(cfg(TopologyKind::Bipartite, false, 7, 2, 3)));
+  EXPECT_FALSE(solvable(cfg(TopologyKind::Bipartite, false, 7, 2, 4)));  // tR >= k/2
+  EXPECT_FALSE(solvable(cfg(TopologyKind::Bipartite, false, 7, 4, 2)));  // tL >= k/2
+  EXPECT_FALSE(solvable(cfg(TopologyKind::Bipartite, false, 7, 3, 3)));  // cond3 fails
+}
+
+TEST(Oracle, UnauthOneSidedOnlyConstrainsRHalf) {
+  EXPECT_TRUE(solvable(cfg(TopologyKind::OneSided, false, 7, 6, 2)));   // tL may exceed k/2
+  EXPECT_FALSE(solvable(cfg(TopologyKind::OneSided, false, 7, 6, 4)));  // tR >= k/2
+  EXPECT_FALSE(solvable(cfg(TopologyKind::OneSided, false, 7, 3, 3)));
+}
+
+TEST(Oracle, AuthFullyConnectedAlwaysSolvable) {
+  for (std::uint32_t tl = 0; tl <= 4; ++tl) {
+    for (std::uint32_t tr = 0; tr <= 4; ++tr) {
+      EXPECT_TRUE(solvable(cfg(TopologyKind::FullyConnected, true, 4, tl, tr)));
+    }
+  }
+}
+
+TEST(Oracle, AuthBipartiteMatchesTheorem6) {
+  // (i) tL, tR < k.
+  EXPECT_TRUE(solvable(cfg(TopologyKind::Bipartite, true, 4, 3, 3)));
+  // (ii) one side fully byzantine but the other < k/3.
+  EXPECT_TRUE(solvable(cfg(TopologyKind::Bipartite, true, 4, 1, 4)));
+  EXPECT_TRUE(solvable(cfg(TopologyKind::Bipartite, true, 4, 4, 1)));
+  // Neither: impossible.
+  EXPECT_FALSE(solvable(cfg(TopologyKind::Bipartite, true, 4, 2, 4)));
+  EXPECT_FALSE(solvable(cfg(TopologyKind::Bipartite, true, 4, 4, 2)));
+}
+
+TEST(Oracle, AuthOneSidedMatchesTheorem7) {
+  EXPECT_TRUE(solvable(cfg(TopologyKind::OneSided, true, 3, 3, 2)));   // tR < k
+  EXPECT_TRUE(solvable(cfg(TopologyKind::OneSided, true, 3, 0, 3)));   // tR = k, tL < k/3
+  EXPECT_FALSE(solvable(cfg(TopologyKind::OneSided, true, 3, 1, 3)));  // Lemma 13
+}
+
+TEST(Oracle, MonotoneInThresholds) {
+  // Lowering a corruption budget never makes a solvable setting unsolvable.
+  for (auto topo : {TopologyKind::FullyConnected, TopologyKind::OneSided, TopologyKind::Bipartite}) {
+    for (bool auth : {false, true}) {
+      for (std::uint32_t k = 1; k <= 5; ++k) {
+        for (std::uint32_t tl = 0; tl <= k; ++tl) {
+          for (std::uint32_t tr = 0; tr <= k; ++tr) {
+            if (!solvable(cfg(topo, auth, k, tl, tr))) continue;
+            if (tl > 0) EXPECT_TRUE(solvable(cfg(topo, auth, k, tl - 1, tr)));
+            if (tr > 0) EXPECT_TRUE(solvable(cfg(topo, auth, k, tl, tr - 1)));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Oracle, TopologyStrengthOrdering) {
+  // bipartite solvable => one-sided solvable => fully-connected solvable.
+  for (bool auth : {false, true}) {
+    for (std::uint32_t k = 1; k <= 5; ++k) {
+      for (std::uint32_t tl = 0; tl <= k; ++tl) {
+        for (std::uint32_t tr = 0; tr <= k; ++tr) {
+          if (solvable(cfg(TopologyKind::Bipartite, auth, k, tl, tr))) {
+            EXPECT_TRUE(solvable(cfg(TopologyKind::OneSided, auth, k, tl, tr)));
+          }
+          if (solvable(cfg(TopologyKind::OneSided, auth, k, tl, tr))) {
+            EXPECT_TRUE(solvable(cfg(TopologyKind::FullyConnected, auth, k, tl, tr)));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Oracle, AuthNeverWeakerThanUnauth) {
+  for (auto topo : {TopologyKind::FullyConnected, TopologyKind::OneSided, TopologyKind::Bipartite}) {
+    for (std::uint32_t k = 1; k <= 5; ++k) {
+      for (std::uint32_t tl = 0; tl <= k; ++tl) {
+        for (std::uint32_t tr = 0; tr <= k; ++tr) {
+          if (solvable(cfg(topo, false, k, tl, tr))) {
+            EXPECT_TRUE(solvable(cfg(topo, true, k, tl, tr)));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Oracle, FactoryAgreesWithOracle) {
+  for (auto topo : {TopologyKind::FullyConnected, TopologyKind::OneSided, TopologyKind::Bipartite}) {
+    for (bool auth : {false, true}) {
+      for (std::uint32_t k = 1; k <= 6; ++k) {
+        for (std::uint32_t tl = 0; tl <= k; ++tl) {
+          for (std::uint32_t tr = 0; tr <= k; ++tr) {
+            const auto c = cfg(topo, auth, k, tl, tr);
+            EXPECT_EQ(resolve_protocol(c).has_value(), solvable(c)) << c.describe();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Oracle, ReasonsMentionTheorems) {
+  EXPECT_NE(solvability_reason(cfg(TopologyKind::FullyConnected, false, 3, 1, 1)).find("Lemma 5"),
+            std::string::npos);
+  EXPECT_NE(solvability_reason(cfg(TopologyKind::OneSided, true, 3, 1, 3)).find("Lemma 13"),
+            std::string::npos);
+  EXPECT_NE(solvability_reason(cfg(TopologyKind::FullyConnected, true, 3, 3, 3)).find("Thm 5"),
+            std::string::npos);
+}
+
+TEST(Oracle, ThresholdsAboveKRejected) {
+  EXPECT_THROW((void)solvable(cfg(TopologyKind::FullyConnected, true, 2, 3, 0)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace bsm::core

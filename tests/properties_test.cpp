@@ -1,0 +1,154 @@
+// Tests for the bSM/sSM property checker: each violation class must be
+// detected, and byzantine parties must be exempt.
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "core/ssm.hpp"
+#include "matching/generators.hpp"
+
+namespace bsm::core {
+namespace {
+
+using Decisions = std::vector<std::optional<PartyId>>;
+
+matching::PreferenceProfile square_profile() {
+  // k = 2: everyone ranks in ascending id order.
+  matching::PreferenceProfile p(2);
+  p.set(0, {2, 3});
+  p.set(1, {2, 3});
+  p.set(2, {0, 1});
+  p.set(3, {0, 1});
+  return p;
+}
+
+TEST(Properties, CleanMatchingPasses) {
+  const Decisions d{{2}, {3}, {0}, {1}};
+  const auto rep = check_bsm(2, {false, false, false, false}, square_profile(), d);
+  EXPECT_TRUE(rep.all()) << rep.summary();
+  EXPECT_TRUE(rep.violations.empty());
+}
+
+TEST(Properties, MissingOutputViolatesTermination) {
+  const Decisions d{{2}, std::nullopt, {0}, {1}};
+  const auto rep = check_bsm(2, {false, false, false, false}, square_profile(), d);
+  EXPECT_FALSE(rep.termination);
+}
+
+TEST(Properties, OwnSideOutputViolatesTermination) {
+  const Decisions d{{1}, {3}, {0}, {1}};  // 0 output a left party
+  const auto rep = check_bsm(2, {false, false, false, false}, square_profile(), d);
+  EXPECT_FALSE(rep.termination);
+}
+
+TEST(Properties, NonReciprocalMatchViolatesSymmetry) {
+  const Decisions d{{2}, {3}, {1}, {1}};  // 0 -> 2 but 2 -> 1
+  const auto rep = check_bsm(2, {false, false, false, false}, square_profile(), d);
+  EXPECT_FALSE(rep.symmetry);
+}
+
+TEST(Properties, SharedOutputViolatesNonCompetition) {
+  const Decisions d{{2}, {2}, {kNobody}, {kNobody}};
+  const auto rep = check_bsm(2, {false, false, false, false}, square_profile(), d);
+  EXPECT_FALSE(rep.non_competition);
+}
+
+TEST(Properties, SharedByzantineTargetAlsoViolatesNonCompetition) {
+  // Both honest left parties matched to the *byzantine* 2: exactly the
+  // scenario the paper's non-competition property exists to exclude.
+  const Decisions d{{2}, {2}, std::nullopt, {kNobody}};
+  const auto rep = check_bsm(2, {false, false, true, false}, square_profile(), d);
+  EXPECT_FALSE(rep.non_competition);
+}
+
+TEST(Properties, BlockingPairViolatesStability) {
+  // 0-3 and 1-2 matched, but 0 and 2 rank each other first.
+  const Decisions d{{3}, {2}, {1}, {0}};
+  const auto rep = check_bsm(2, {false, false, false, false}, square_profile(), d);
+  EXPECT_FALSE(rep.stability);
+  EXPECT_TRUE(rep.symmetry);
+}
+
+TEST(Properties, MutuallyUnmatchedHonestPairBlocks) {
+  const Decisions d{{kNobody}, {3}, {kNobody}, {1}};
+  const auto rep = check_bsm(2, {false, false, false, false}, square_profile(), d);
+  EXPECT_FALSE(rep.stability);  // (0, 2) both alone and list each other
+}
+
+TEST(Properties, ByzantinePartiesExemptEverywhere) {
+  // All violations located at byzantine parties: report must be clean.
+  const Decisions d{{2}, std::nullopt, {0}, {0}};
+  const auto rep = check_bsm(2, {false, true, false, true}, square_profile(), d);
+  EXPECT_TRUE(rep.all()) << rep.summary();
+}
+
+TEST(Properties, UnmatchedHonestVsMatchedNotBlockingIfSatisfied) {
+  // 1-2 matched; 0 and 3 alone. (0, 3): 3 is alone so prefers 0; 0 alone
+  // prefers 3 -> blocking. Flip: make 3 matched to its favourite instead.
+  matching::PreferenceProfile p = square_profile();
+  const Decisions d{{kNobody}, {3}, {kNobody}, {1}};
+  // (0, 2): blocking (both alone). Change 2 to matched-with-favourite:
+  const Decisions d2{{kNobody}, {2}, {1}, {kNobody}};
+  // now (0, 3): 3 alone, 0 alone -> still blocking; assert detection works
+  EXPECT_FALSE(check_bsm(2, {false, false, false, false}, p, d2).stability);
+}
+
+TEST(Properties, SummaryEncodesFlags) {
+  const Decisions d{{2}, {2}, {kNobody}, {kNobody}};
+  const auto rep = check_bsm(2, {false, false, false, false}, square_profile(), d);
+  EXPECT_EQ(rep.summary().size(), 4U);
+  EXPECT_EQ(rep.summary()[3], 'n');  // non-competition violated -> lowercase
+}
+
+// ------------------------------------------------------------------- sSM
+
+TEST(SsmProperties, MutualFavoritesMustMatch) {
+  const std::vector<PartyId> favorites{2, 2, 0, 1};  // 0 <-> 2 mutual
+  const Decisions bad{{3}, {kNobody}, {1}, {0}};
+  const auto rep = check_ssm(2, {false, false, false, false}, favorites, bad);
+  EXPECT_FALSE(rep.stability);
+  const Decisions good{{2}, {kNobody}, {0}, {kNobody}};
+  EXPECT_TRUE(check_ssm(2, {false, false, false, false}, favorites, good).all());
+}
+
+TEST(SsmProperties, NonMutualFavoritesUnconstrained) {
+  const std::vector<PartyId> favorites{2, 3, 1, 0};  // nobody mutual
+  const Decisions d{{kNobody}, {kNobody}, {kNobody}, {kNobody}};
+  EXPECT_TRUE(check_ssm(2, {false, false, false, false}, favorites, d).all());
+}
+
+TEST(SsmProperties, ByzantineFavoriteExempt) {
+  const std::vector<PartyId> favorites{2, 2, 0, 1};
+  const Decisions d{{kNobody}, {kNobody}, {kNobody}, {kNobody}};
+  // 2 is byzantine: the mutual pair (0, 2) no longer binds.
+  EXPECT_TRUE(check_ssm(2, {false, false, true, false}, favorites, d).all());
+}
+
+// ------------------------------------------------------------- reductions
+
+TEST(SsmReduction, FavoriteExpansionRanksFavoriteFirst) {
+  const auto list = list_from_favorite(0, 4, 3);
+  EXPECT_EQ(list, (matching::PreferenceList{4, 3, 5}));
+  EXPECT_THROW((void)list_from_favorite(0, 1, 3), std::logic_error);  // same side
+}
+
+TEST(SsmReduction, ProfileFromFavoritesIsComplete) {
+  const std::vector<PartyId> favorites{4, 3, 5, 1, 0, 2};
+  const auto profile = profile_from_favorites(favorites, 3);
+  EXPECT_TRUE(profile.complete());
+  for (PartyId id = 0; id < 6; ++id) EXPECT_EQ(profile.list(id).front(), favorites[id]);
+}
+
+TEST(SsmReduction, Lemma3ThresholdArithmetic) {
+  // k = 6 -> d = 3 groups of ceil(6/3) = 2: budgets halve (floored).
+  EXPECT_EQ(reduced_thresholds(6, 3, 3, 5), (std::pair<std::uint32_t, std::uint32_t>{1, 2}));
+  // d = k: identity.
+  EXPECT_EQ(reduced_thresholds(4, 4, 2, 3), (std::pair<std::uint32_t, std::uint32_t>{2, 3}));
+  // The paper's Lemma 5 usage: from (k, tL >= k/3, tR >= k/3) down to
+  // d = 3 with at least 1 byzantine per side.
+  const auto [tl, tr] = reduced_thresholds(9, 3, 3, 3);
+  EXPECT_GE(tl, 1U);
+  EXPECT_GE(tr, 1U);
+}
+
+}  // namespace
+}  // namespace bsm::core

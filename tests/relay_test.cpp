@@ -1,0 +1,259 @@
+// Tests for the virtual-channel relay layer (Lemmas 6, 8, 10): delivery
+// through honest relays, majority voting against garbling relays, signature
+// rejection, replay protection, and the 2-Delta timing window.
+#include <gtest/gtest.h>
+
+#include "common/codec.hpp"
+#include "net/engine.hpp"
+#include "net/relay.hpp"
+
+namespace bsm::net {
+namespace {
+
+/// Owns a RelayRouter; performs scripted sends and records deliveries, and
+/// (being a router user) does forwarding duty for everyone else.
+class RelayUser final : public Process {
+ public:
+  struct ScriptedSend {
+    Round round;
+    PartyId to;
+    Bytes body;
+  };
+
+  RelayUser(RelayMode mode, std::vector<ScriptedSend> script)
+      : router_(mode), script_(std::move(script)) {}
+
+  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+    for (auto& msg : router_.route(ctx, inbox)) delivered_.push_back(std::move(msg));
+    for (const auto& s : script_) {
+      if (s.round == ctx.round()) router_.send(ctx, s.to, s.body);
+    }
+  }
+
+  [[nodiscard]] const std::vector<AppMsg>& delivered() const { return delivered_; }
+  [[nodiscard]] const RelayRouter& router() const { return router_; }
+
+ private:
+  RelayRouter router_;
+  std::vector<ScriptedSend> script_;
+  std::vector<AppMsg> delivered_;
+};
+
+/// Byzantine relay: behaves like an honest router user, except every
+/// outgoing forward has one body byte flipped (content garbling).
+class GarblingRelay final : public Process {
+ public:
+  explicit GarblingRelay(RelayMode mode) : router_(mode) {}
+
+  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+    struct Shim final : Context {
+      explicit Shim(Context& base) : base_(&base) {}
+      void send(PartyId to, const Bytes& payload) override {
+        Bytes mutated = payload;
+        if (!mutated.empty()) mutated.back() ^= 0x01;
+        base_->send(to, mutated);
+      }
+      [[nodiscard]] Round round() const override { return base_->round(); }
+      [[nodiscard]] PartyId self() const override { return base_->self(); }
+      [[nodiscard]] const Topology& topology() const override { return base_->topology(); }
+      [[nodiscard]] const crypto::Signer& signer() const override { return base_->signer(); }
+      [[nodiscard]] const crypto::Pki& pki() const override { return base_->pki(); }
+      Context* base_;
+    } shim(ctx);
+    (void)router_.route(shim, inbox);
+  }
+
+ private:
+  RelayRouter router_;
+};
+
+/// Byzantine relay that buffers its inbox and performs its forwarding duty
+/// `delay` rounds late (for the Lemma 10 timing window).
+class DelayingRelay final : public Process {
+ public:
+  DelayingRelay(RelayMode mode, Round delay) : router_(mode), delay_(delay) {}
+
+  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+    buffer_.push_back(inbox);
+    if (buffer_.size() > delay_) {
+      (void)router_.route(ctx, buffer_.front());
+      buffer_.erase(buffer_.begin());
+    }
+  }
+
+ private:
+  RelayRouter router_;
+  Round delay_;
+  std::vector<std::vector<Envelope>> buffer_;
+};
+
+class SilentProcess final : public Process {
+ public:
+  void on_round(Context&, const std::vector<Envelope>&) override {}
+};
+
+/// One-sided market of size k: L parties are RelayUsers, R parties are the
+/// relays (honest RelayUsers by default; overridable per id).
+struct Fixture {
+  explicit Fixture(std::uint32_t k, RelayMode mode)
+      : engine(Topology(TopologyKind::OneSided, k), /*pki_seed=*/1), mode_(mode) {
+    for (PartyId id = 0; id < 2 * k; ++id) {
+      engine.set_process(id, std::make_unique<RelayUser>(mode, std::vector<RelayUser::ScriptedSend>{}));
+    }
+  }
+
+  void script(PartyId id, std::vector<RelayUser::ScriptedSend> sends) {
+    engine.set_process(id, std::make_unique<RelayUser>(mode_, std::move(sends)));
+  }
+
+  [[nodiscard]] const RelayUser& user(PartyId id) {
+    return dynamic_cast<const RelayUser&>(engine.process(id));
+  }
+
+  Engine engine;
+  RelayMode mode_;
+};
+
+TEST(Relay, DirectCrossSideDelivery) {
+  Fixture f(2, RelayMode::Direct);
+  f.script(0, {{0, 2, Bytes{1, 2, 3}}});
+  f.engine.run(2);
+  ASSERT_EQ(f.user(2).delivered().size(), 1U);
+  EXPECT_EQ(f.user(2).delivered()[0].from, 0U);
+  EXPECT_EQ(f.user(2).delivered()[0].body, (Bytes{1, 2, 3}));
+}
+
+TEST(Relay, DirectRefusesVirtualChannels) {
+  Fixture f(2, RelayMode::Direct);
+  f.script(0, {{0, 1, Bytes{1}}});  // L-L without relaying enabled
+  EXPECT_THROW(f.engine.run(1), std::logic_error);
+}
+
+TEST(Relay, MajorityDeliversInTwoRounds) {
+  Fixture f(2, RelayMode::UnauthMajority);
+  f.script(0, {{0, 1, Bytes{5, 6}}});
+  f.engine.run(2);
+  EXPECT_TRUE(f.user(1).delivered().empty());  // not yet: 2 * Delta
+  f.engine.run(1);
+  ASSERT_EQ(f.user(1).delivered().size(), 1U);
+  EXPECT_EQ(f.user(1).delivered()[0].from, 0U);
+  EXPECT_EQ(f.user(1).delivered()[0].body, (Bytes{5, 6}));
+}
+
+TEST(Relay, MajoritySurvivesOneGarblingRelayOfThree) {
+  Fixture f(3, RelayMode::UnauthMajority);
+  f.script(0, {{0, 1, Bytes{9}}});
+  f.engine.set_corrupt(3, std::make_unique<GarblingRelay>(RelayMode::UnauthMajority));
+  f.engine.run(4);
+  ASSERT_EQ(f.user(1).delivered().size(), 1U);
+  EXPECT_EQ(f.user(1).delivered()[0].body, (Bytes{9}));
+}
+
+TEST(Relay, MajorityFailsWithoutHonestMajority) {
+  // k = 2: strict majority needs both relays; one silent byzantine relay
+  // starves the channel (exactly why Theorem 4 requires tR < k/2).
+  Fixture f(2, RelayMode::UnauthMajority);
+  f.script(0, {{0, 1, Bytes{9}}});
+  f.engine.set_corrupt(2, std::make_unique<SilentProcess>());
+  f.engine.run(6);
+  EXPECT_TRUE(f.user(1).delivered().empty());
+}
+
+TEST(Relay, MajorityRejectsSpoofedSource) {
+  // A single byzantine relay fabricates a forward claiming src = 0; with
+  // k = 3 the strict majority (2) is never reached.
+  Fixture f(3, RelayMode::UnauthMajority);
+  Writer w;
+  w.u8(2);        // RelayFwd
+  w.u32(0);       // claimed src
+  w.u32(1);       // dst
+  w.u64(77);      // id
+  w.u32(0);       // tau
+  w.bytes({66});  // body
+  class RawSender final : public Process {
+   public:
+    explicit RawSender(Bytes frame) : frame_(std::move(frame)) {}
+    void on_round(Context& ctx, const std::vector<Envelope>&) override {
+      if (ctx.round() == 0) ctx.send(1, frame_);
+    }
+    Bytes frame_;
+  };
+  f.engine.set_corrupt(3, std::make_unique<RawSender>(w.data()));
+  f.engine.run(4);
+  EXPECT_TRUE(f.user(1).delivered().empty());
+}
+
+TEST(Relay, AuthDeliversWithSingleHonestRelay) {
+  // k = 3, two of three relays silent-byzantine: Lemma 8 needs just one
+  // honest forwarder.
+  Fixture f(3, RelayMode::AuthSigned);
+  f.script(0, {{0, 1, Bytes{1, 1}}});
+  f.engine.set_corrupt(3, std::make_unique<SilentProcess>());
+  f.engine.set_corrupt(4, std::make_unique<SilentProcess>());
+  f.engine.run(4);
+  ASSERT_EQ(f.user(1).delivered().size(), 1U);
+  EXPECT_EQ(f.user(1).delivered()[0].from, 0U);
+}
+
+TEST(Relay, AuthRejectsGarbledContent) {
+  // The only functioning relay garbles the body: signature verification
+  // fails and nothing is delivered.
+  Fixture f(2, RelayMode::AuthSigned);
+  f.script(0, {{0, 1, Bytes{8}}});
+  f.engine.set_corrupt(2, std::make_unique<GarblingRelay>(RelayMode::AuthSigned));
+  f.engine.set_corrupt(3, std::make_unique<SilentProcess>());
+  f.engine.run(5);
+  EXPECT_TRUE(f.user(1).delivered().empty());
+}
+
+TEST(Relay, AuthAcceptsExactlyOncePerMessage) {
+  // All three relays forward: the receiver must deduplicate on (src, id).
+  Fixture f(3, RelayMode::AuthSigned);
+  f.script(0, {{0, 1, Bytes{4}}, {0, 1, Bytes{4}}});
+  f.engine.run(4);
+  // Two scripted sends = two ids = two deliveries; not six.
+  EXPECT_EQ(f.user(1).delivered().size(), 2U);
+}
+
+TEST(Relay, TimedAcceptsWithinWindow) {
+  Fixture f(2, RelayMode::AuthTimed);
+  f.script(0, {{0, 1, Bytes{3}}});
+  f.engine.run(4);
+  ASSERT_EQ(f.user(1).delivered().size(), 1U);
+}
+
+TEST(Relay, TimedRejectsLateForwards) {
+  // Both relays byzantine: one silent, one forwarding 3 rounds late —
+  // outside the 2 * Delta window, so the message is omitted, never late.
+  Fixture f(2, RelayMode::AuthTimed);
+  f.script(0, {{0, 1, Bytes{3}}});
+  f.engine.set_corrupt(2, std::make_unique<DelayingRelay>(RelayMode::AuthTimed, 3));
+  f.engine.set_corrupt(3, std::make_unique<SilentProcess>());
+  f.engine.run(10);
+  EXPECT_TRUE(f.user(1).delivered().empty());
+}
+
+TEST(Relay, TimedOmissionRequiresAllRelaysByzantine) {
+  // One honest relay of two: delivery happens despite the delayer.
+  Fixture f(2, RelayMode::AuthTimed);
+  f.script(0, {{0, 1, Bytes{3}}});
+  f.engine.set_corrupt(3, std::make_unique<DelayingRelay>(RelayMode::AuthTimed, 3));
+  f.engine.run(10);
+  ASSERT_EQ(f.user(1).delivered().size(), 1U);
+}
+
+TEST(Relay, MalformedFramesAreCountedNotFatal) {
+  Fixture f(2, RelayMode::UnauthMajority);
+  class Noise final : public Process {
+   public:
+    void on_round(Context& ctx, const std::vector<Envelope>&) override {
+      if (ctx.round() == 0) ctx.send(0, Bytes{0xFF, 0xFF, 0xFF});
+    }
+  };
+  f.engine.set_corrupt(2, std::make_unique<Noise>());
+  EXPECT_NO_THROW(f.engine.run(3));
+  EXPECT_GE(f.user(0).router().rejected(), 1U);
+}
+
+}  // namespace
+}  // namespace bsm::net

@@ -1,0 +1,139 @@
+// End-to-end tests of byzantine stable roommates (bRM) — the Section 6
+// extension: broadcast-then-Irving under byzantine batteries, justified
+// abstention when no stable matching exists, and the refined checker.
+#include <gtest/gtest.h>
+
+#include "adversary/shims.hpp"
+#include "adversary/strategies.hpp"
+#include "core/roommates_bsm.hpp"
+
+namespace bsm::core {
+namespace {
+
+using matching::RoommatePreferences;
+
+RoommatesRunSpec make_spec(std::uint32_t n, std::uint32_t t, bool auth, std::uint64_t seed) {
+  RoommatesRunSpec spec;
+  spec.config = RoommatesConfig{n, t, auth};
+  spec.inputs = matching::random_roommate_profile(n, seed);
+  spec.pki_seed = seed + 9;
+  return spec;
+}
+
+TEST(RoommatesBsm, SolvabilityConditions) {
+  EXPECT_TRUE(roommates_solvable({6, 5, true}));
+  EXPECT_TRUE(roommates_solvable({6, 1, false}));
+  EXPECT_FALSE(roommates_solvable({6, 6, true}));
+  EXPECT_FALSE(roommates_solvable({6, 2, false}));
+  EXPECT_THROW((void)roommates_solvable({5, 1, true}), std::logic_error);  // odd n
+}
+
+TEST(RoommatesBsm, FaultFreeMatchesLocalIrving) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto spec = make_spec(6, 2, true, seed);
+    const auto expected = matching::stable_roommates(spec.inputs);
+    const auto out = run_roommates(std::move(spec));
+    EXPECT_TRUE(out.report.all()) << out.report.summary();
+    for (PartyId id = 0; id < 6; ++id) {
+      ASSERT_TRUE(out.decisions[id].has_value());
+      if (expected.has_value()) {
+        EXPECT_EQ(*out.decisions[id], (*expected)[id]);
+      } else {
+        EXPECT_EQ(*out.decisions[id], kNobody) << "justified abstention expected";
+      }
+    }
+  }
+}
+
+TEST(RoommatesBsm, JustifiedAbstentionOnUnsolvableInstance) {
+  // The classic no-stable-matching instance: everyone must output nobody,
+  // and the refined (weak) stability accepts that.
+  auto spec = make_spec(4, 1, true, 0);
+  spec.inputs = RoommatePreferences{{1, 2, 3}, {2, 0, 3}, {0, 1, 3}, {0, 1, 2}};
+  const auto out = run_roommates(std::move(spec));
+  EXPECT_TRUE(out.report.all()) << out.report.summary();
+  for (PartyId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(out.decisions[id].has_value());
+    EXPECT_EQ(*out.decisions[id], kNobody);
+  }
+}
+
+TEST(RoommatesBsm, SilentByzantineWithinBudgetAuth) {
+  for (std::uint32_t t : {1U, 3U, 5U}) {
+    auto spec = make_spec(6, t, true, t);
+    for (std::uint32_t i = 0; i < t; ++i) {
+      spec.adversaries.emplace_back(i, std::make_unique<adversary::Silent>());
+    }
+    const auto out = run_roommates(std::move(spec));
+    EXPECT_TRUE(out.report.all()) << "t=" << t << ": " << out.report.summary();
+  }
+}
+
+TEST(RoommatesBsm, NoiseByzantineUnauth) {
+  auto spec = make_spec(8, 2, false, 4);
+  spec.adversaries.emplace_back(1, std::make_unique<adversary::RandomNoise>(3, 4));
+  spec.adversaries.emplace_back(6, std::make_unique<adversary::RandomNoise>(5, 4));
+  const auto out = run_roommates(std::move(spec));
+  EXPECT_TRUE(out.report.all()) << out.report.summary();
+}
+
+TEST(RoommatesBsm, EquivocatorCannotSplitHonestAgents) {
+  // A split-brain byzantine agent presents two different lists; broadcast
+  // consistency must still leave all honest agents with one shared view.
+  auto spec = make_spec(6, 1, true, 11);
+  const RoommatesConfig cfg = spec.config;
+  auto inputs = spec.inputs;
+  auto alt = matching::default_roommate_list(2, 6);
+  spec.adversaries.emplace_back(
+      2, std::make_unique<adversary::SplitBrain>(
+             std::make_unique<RoommatesBtm>(cfg, 2, inputs[2]),
+             std::make_unique<RoommatesBtm>(cfg, 2, alt),
+             [](PartyId p) { return p < 3 ? 0 : 1; }));
+  const auto out = run_roommates(std::move(spec));
+  EXPECT_TRUE(out.report.all()) << out.report.summary();
+}
+
+TEST(RoommatesBsm, LyingInputsKeepProperties) {
+  auto spec = make_spec(6, 2, true, 13);
+  const RoommatesConfig cfg = spec.config;
+  spec.adversaries.emplace_back(
+      0, std::make_unique<RoommatesBtm>(cfg, 0, matching::default_roommate_list(0, 6)));
+  spec.adversaries.emplace_back(
+      5, std::make_unique<RoommatesBtm>(cfg, 5, matching::default_roommate_list(5, 6)));
+  const auto out = run_roommates(std::move(spec));
+  EXPECT_TRUE(out.report.all()) << out.report.summary();
+}
+
+TEST(CheckBrm, DetectsEachViolation) {
+  const RoommatePreferences prefs{{1, 2, 3}, {0, 2, 3}, {3, 0, 1}, {2, 0, 1}};
+  const std::vector<bool> honest(4, false);
+  using D = std::vector<std::optional<PartyId>>;
+
+  // Clean: 0-1 and 2-3 (everyone's favourite pairing).
+  EXPECT_TRUE(check_brm(4, honest, prefs, D{{1}, {0}, {3}, {2}}).all());
+  // Termination: missing output and self-match.
+  EXPECT_FALSE(check_brm(4, honest, prefs, D{std::nullopt, {0}, {3}, {2}}).termination);
+  EXPECT_FALSE(check_brm(4, honest, prefs, D{{0}, {0}, {3}, {2}}).termination);
+  // Symmetry.
+  EXPECT_FALSE(check_brm(4, honest, prefs, D{{1}, {2}, {3}, {2}}).symmetry);
+  // Non-competition.
+  EXPECT_FALSE(check_brm(4, honest, prefs, D{{1}, {1}, {kNobody}, {kNobody}}).non_competition);
+  // Weak stability: 0-2, 1-3 matched but 0 and 1 prefer each other.
+  EXPECT_FALSE(check_brm(4, honest, prefs, D{{2}, {3}, {0}, {1}}).stability);
+  // All-unmatched honest pair is permitted (justified abstention).
+  EXPECT_TRUE(
+      check_brm(4, honest, prefs, D{{kNobody}, {kNobody}, {kNobody}, {kNobody}}).all());
+  // ...but matched-vs-unmatched blocking still counts: 1 is matched to 2
+  // yet prefers the unmatched 0, who wants anyone.
+  EXPECT_FALSE(check_brm(4, honest, prefs, D{{kNobody}, {2}, {1}, {kNobody}}).stability);
+  // Byzantine parties are exempt.
+  EXPECT_TRUE(check_brm(4, {true, true, false, false}, prefs, D{{1}, {1}, {3}, {2}}).all());
+}
+
+TEST(RoommatesBsm, RunnerRejectsUnsolvableSettings) {
+  auto spec = make_spec(6, 2, false, 1);  // 3t >= n without PKI
+  EXPECT_THROW((void)run_roommates(std::move(spec)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bsm::core

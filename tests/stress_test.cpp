@@ -1,0 +1,152 @@
+// Failure-injection stress: heavy garbage, replay, combined batteries,
+// adaptive corruption waves, and larger markets. Nothing here checks a
+// specific output value — these tests assert that no hostile input stream
+// can crash a decoder, stall a schedule, or break a property inside the
+// solvable region.
+#include <gtest/gtest.h>
+
+#include "adversary/shims.hpp"
+#include "adversary/strategies.hpp"
+#include "core/oracle.hpp"
+#include "core/runner.hpp"
+#include "core/ssm.hpp"
+#include "matching/generators.hpp"
+
+namespace bsm::core {
+namespace {
+
+using net::TopologyKind;
+
+TEST(Stress, HeavyGarbageFloodAgainstEveryConstruction) {
+  const std::vector<BsmConfig> cells = {
+      {TopologyKind::FullyConnected, true, 4, 2, 2},
+      {TopologyKind::FullyConnected, false, 4, 1, 1},
+      {TopologyKind::OneSided, true, 4, 2, 1},
+      {TopologyKind::OneSided, false, 4, 1, 1},
+      {TopologyKind::Bipartite, true, 4, 3, 3},
+      {TopologyKind::Bipartite, true, 4, 1, 4},  // Pi_bSM
+      {TopologyKind::Bipartite, false, 4, 1, 1},
+  };
+  for (const auto& cfg : cells) {
+    ASSERT_TRUE(solvable(cfg)) << cfg.describe();
+    RunSpec spec;
+    spec.config = cfg;
+    spec.inputs = matching::random_profile(cfg.k, 1);
+    // Flood with large malformed payloads from every budgeted corruption.
+    for (std::uint32_t i = 0; i < cfg.tl; ++i) {
+      spec.adversaries.push_back(
+          {i, 0, std::make_unique<adversary::RandomNoise>(i + 1, 10, 500)});
+    }
+    for (std::uint32_t i = 0; i < cfg.tr; ++i) {
+      spec.adversaries.push_back(
+          {cfg.k + i, 0, std::make_unique<adversary::RandomNoise>(i + 77, 10, 500)});
+    }
+    const auto out = run_bsm(std::move(spec));
+    EXPECT_TRUE(out.report.all()) << cfg.describe() << ": " << out.report.summary();
+  }
+}
+
+TEST(Stress, ReplayersCannotBreakAuthenticatedRelays) {
+  // Replaying recorded traffic must bounce off the (src, id) replay guard
+  // and the Lemma 10 timing window.
+  for (const auto topo : {TopologyKind::OneSided, TopologyKind::Bipartite}) {
+    RunSpec spec;
+    spec.config = BsmConfig{topo, true, 4, 1, 1};
+    spec.inputs = matching::random_profile(4, 3);
+    spec.adversaries.push_back({0, 0, std::make_unique<adversary::Replayer>()});
+    spec.adversaries.push_back({5, 0, std::make_unique<adversary::Replayer>()});
+    const auto out = run_bsm(std::move(spec));
+    EXPECT_TRUE(out.report.all()) << net::to_string(topo) << ": " << out.report.summary();
+  }
+}
+
+TEST(Stress, MixedBatteryAtFullBudget) {
+  // One of each strategy, all inside the budget of a generous cell.
+  RunSpec spec;
+  spec.config = BsmConfig{TopologyKind::FullyConnected, true, 5, 3, 3};
+  spec.inputs = matching::random_profile(5, 9);
+  const auto lie = matching::contested_profile(5);
+  spec.adversaries.push_back({0, 0, std::make_unique<adversary::Silent>()});
+  spec.adversaries.push_back({1, 0, std::make_unique<adversary::RandomNoise>(4, 6)});
+  spec.adversaries.push_back({2, 0, honest_process_for(spec, 2, lie.list(2))});
+  spec.adversaries.push_back({5, 0, std::make_unique<adversary::Replayer>()});
+  spec.adversaries.push_back(
+      {6, 0,
+       std::make_unique<adversary::SplitBrain>(honest_process_for(spec, 6, spec.inputs.list(6)),
+                                               honest_process_for(spec, 6, lie.list(6)),
+                                               [](PartyId p) { return static_cast<int>(p % 2); })});
+  spec.adversaries.push_back({7, 3, std::make_unique<adversary::Silent>()});  // adaptive crash
+  const auto out = run_bsm(std::move(spec));
+  EXPECT_TRUE(out.report.all()) << out.report.summary();
+}
+
+TEST(Stress, AdaptiveCorruptionWave) {
+  // Corruptions arriving at staggered rounds, up to the full budget: the
+  // adaptive adversary of the paper's model.
+  RunSpec spec;
+  spec.config = BsmConfig{TopologyKind::FullyConnected, true, 4, 3, 3};
+  spec.inputs = matching::random_profile(4, 13);
+  Round when = 1;
+  for (PartyId id : {0U, 1U, 2U, 4U, 5U, 6U}) {
+    spec.adversaries.push_back({id, when, std::make_unique<adversary::Silent>()});
+    when += 1;
+  }
+  const auto out = run_bsm(std::move(spec));
+  EXPECT_TRUE(out.report.all()) << out.report.summary();
+}
+
+TEST(Stress, LargerMarketEndToEnd) {
+  // k = 8 across the main constructions (kept to one seed for test speed).
+  const std::vector<BsmConfig> cells = {
+      {TopologyKind::FullyConnected, true, 8, 2, 2},
+      {TopologyKind::FullyConnected, false, 8, 2, 2},
+      {TopologyKind::Bipartite, true, 8, 2, 8},  // Pi_bSM at scale
+  };
+  for (const auto& cfg : cells) {
+    RunSpec spec;
+    spec.config = cfg;
+    spec.inputs = matching::random_profile(cfg.k, 5);
+    const auto expected = matching::gale_shapley(spec.inputs).matching;
+    const auto out = run_bsm(std::move(spec));
+    EXPECT_TRUE(out.report.all()) << cfg.describe() << ": " << out.report.summary();
+    for (PartyId id = 0; id < cfg.n(); ++id) {
+      EXPECT_EQ(out.decisions[id], std::optional<PartyId>{expected[id]}) << "P" << id;
+    }
+  }
+}
+
+TEST(Stress, SsmSweepWithAdversaries) {
+  // Favorites-only inputs through the Lemma 2 runner across topologies.
+  for (const auto topo :
+       {TopologyKind::FullyConnected, TopologyKind::OneSided, TopologyKind::Bipartite}) {
+    SsmRunSpec spec;
+    spec.config = BsmConfig{topo, true, 4, 1, 1};
+    spec.favorites = {5, 4, 6, 7, 1, 0, 2, 3};  // mutual: (1,4), (0,5), (2,6), (3,7)
+    spec.adversaries.push_back({3, 0, std::make_unique<adversary::Silent>()});
+    spec.adversaries.push_back({6, 0, std::make_unique<adversary::RandomNoise>(1, 3)});
+    const auto out = run_ssm(std::move(spec));
+    EXPECT_TRUE(out.report.all()) << net::to_string(topo) << ": " << out.report.summary();
+    // The untouched mutual pairs must be matched.
+    EXPECT_EQ(out.decisions[0], std::optional<PartyId>{5});
+    EXPECT_EQ(out.decisions[1], std::optional<PartyId>{4});
+  }
+}
+
+TEST(Stress, ZeroBudgetRunsAreExactAndCheap) {
+  // tl = tr = 0: the protocol degenerates gracefully and still matches the
+  // offline result.
+  for (const bool auth : {true, false}) {
+    RunSpec spec;
+    spec.config = BsmConfig{TopologyKind::FullyConnected, auth, 5, 0, 0};
+    spec.inputs = matching::random_profile(5, 30);
+    const auto expected = matching::gale_shapley(spec.inputs).matching;
+    const auto out = run_bsm(std::move(spec));
+    EXPECT_TRUE(out.report.all());
+    for (PartyId id = 0; id < 10; ++id) {
+      EXPECT_EQ(out.decisions[id], std::optional<PartyId>{expected[id]});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsm::core

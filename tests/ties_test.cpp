@@ -1,0 +1,111 @@
+// Tests for stable matching with ties under weak stability.
+#include <gtest/gtest.h>
+
+#include "matching/stability.hpp"
+#include "matching/ties.hpp"
+
+namespace bsm::matching {
+namespace {
+
+TiedProfile indifferent(std::uint32_t k) {
+  // Everyone is indifferent among the whole opposite side.
+  TiedProfile p(k);
+  for (PartyId id = 0; id < 2 * k; ++id) {
+    p.set(id, {side_members(opposite(side_of(id, k)), k)});
+  }
+  return p;
+}
+
+TEST(Ties, SetValidatesTiers) {
+  TiedProfile p(2);
+  EXPECT_NO_THROW(p.set(0, {{2, 3}}));
+  EXPECT_NO_THROW(p.set(0, {{3}, {2}}));
+  EXPECT_THROW(p.set(0, {{2}}), std::logic_error);          // incomplete
+  EXPECT_THROW(p.set(0, {{2}, {2, 3}}), std::logic_error);  // duplicate
+  EXPECT_THROW(p.set(0, {{0, 1}}), std::logic_error);       // own side
+  EXPECT_THROW(p.set(0, {{2}, {}, {3}}), std::logic_error); // empty tier
+}
+
+TEST(Ties, TierLookupAndStrictPreference) {
+  TiedProfile p(3);
+  p.set(0, {{4}, {3, 5}});
+  EXPECT_EQ(p.tier_of(0, 4), 0U);
+  EXPECT_EQ(p.tier_of(0, 3), 1U);
+  EXPECT_EQ(p.tier_of(0, 5), 1U);
+  EXPECT_TRUE(p.strictly_prefers(0, 4, 3));
+  EXPECT_FALSE(p.strictly_prefers(0, 3, 5));  // same tier: indifferent
+  EXPECT_FALSE(p.strictly_prefers(0, 5, 3));
+}
+
+TEST(Ties, BreakTiesIsDeterministicAndOrderPreserving) {
+  TiedProfile p(3);
+  p.set(0, {{5, 3}, {4}});
+  for (PartyId id = 1; id < 6; ++id) {
+    p.set(id, {side_members(opposite(side_of(id, 3)), 3)});
+  }
+  const auto strict = break_ties(p);
+  EXPECT_EQ(strict.list(0), (PreferenceList{3, 5, 4}));  // tier sorted by id
+  // Deterministic: two calls agree.
+  EXPECT_EQ(break_ties(p).list(0), strict.list(0));
+}
+
+TEST(Ties, TotalIndifferenceAnyPerfectMatchingIsWeaklyStable) {
+  const auto p = indifferent(3);
+  // With full indifference nobody strictly prefers anything: every perfect
+  // matching is weakly stable.
+  const Matching m{5, 3, 4, 1, 2, 0};
+  EXPECT_TRUE(is_weakly_stable(p, m));
+  const auto result = stable_matching_with_ties(p);
+  EXPECT_TRUE(is_weakly_stable(p, result.matching));
+}
+
+TEST(Ties, StrictProfileReducesToClassicStability) {
+  // Singleton tiers: weak stability coincides with classic stability.
+  TiedProfile p(2);
+  p.set(0, {{2}, {3}});
+  p.set(1, {{2}, {3}});
+  p.set(2, {{0}, {1}});
+  p.set(3, {{0}, {1}});
+  const auto result = stable_matching_with_ties(p);
+  EXPECT_EQ(result.matching[0], 2U);
+  EXPECT_EQ(result.matching[1], 3U);
+  // 0-3/1-2 has the weakly blocking pair (0, 2).
+  EXPECT_FALSE(is_weakly_stable(p, {3, 2, 1, 0}));
+}
+
+class TiesRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TiesRandom, TieBrokenGaleShapleyIsWeaklyStable) {
+  for (const std::uint32_t k : {2U, 3U, 5U}) {
+    for (const std::uint32_t mean_tier : {1U, 2U, 3U}) {
+      const auto p = random_tied_profile(k, mean_tier, GetParam() * 37 + k + mean_tier);
+      ASSERT_TRUE(p.complete());
+      const auto result = stable_matching_with_ties(p);
+      EXPECT_TRUE(is_perfect_matching(result.matching, k));
+      EXPECT_TRUE(weakly_blocking_pairs(p, result.matching).empty())
+          << "k=" << k << " tier=" << mean_tier << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(TiesRandom, StrictStabilityImpliesWeakStability) {
+  // Any matching stable for the tie-broken strict profile is weakly stable
+  // for the tied one (the classic existence argument).
+  const auto p = random_tied_profile(3, 2, GetParam() + 500);
+  const auto strict = break_ties(p);
+  for (const auto& m : all_stable_matchings(strict)) {
+    EXPECT_TRUE(is_weakly_stable(p, m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TiesRandom, ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Ties, MeanTierOneIsStrict) {
+  const auto p = random_tied_profile(4, 1, 9);
+  for (PartyId id = 0; id < 8; ++id) {
+    for (const auto& tier : p.tiers(id)) EXPECT_EQ(tier.size(), 1U);
+  }
+}
+
+}  // namespace
+}  // namespace bsm::matching

@@ -1,0 +1,195 @@
+// bsm_cli — run any byzantine-stable-matching scenario from the command
+// line and inspect the outcome.
+//
+// Usage:
+//   bsm_cli [--topology fully|one-sided|bipartite] [--auth|--no-auth]
+//           [--k N] [--tl N] [--tr N] [--seed S]
+//           [--adversary silent|noise|liar|split|crash]...
+//           [--verbose]
+//
+// Adversaries are assigned to the highest-budget ids per side, one flag per
+// corrupted party, alternating L then R while budget remains. Exits 0 when
+// all four bSM properties held; 2 when the setting is unsolvable per the
+// paper; 1 on a property violation (which inside the solvable region would
+// be a library bug — please report it).
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "adversary/shims.hpp"
+#include "adversary/strategies.hpp"
+#include "common/table.hpp"
+#include "core/oracle.hpp"
+#include "core/runner.hpp"
+#include "matching/generators.hpp"
+
+namespace {
+
+using namespace bsm;
+
+void usage() {
+  std::cout <<
+      R"(bsm_cli — byzantine stable matching scenario runner
+
+  --topology fully|one-sided|bipartite   network topology  (default: fully)
+  --auth / --no-auth                     PKI available?    (default: auth)
+  --k N                                  parties per side  (default: 4)
+  --tl N / --tr N                        corruption budgets (default: 1/1)
+  --seed S                               workload seed     (default: 1)
+  --adversary KIND                       add one corrupted party, kinds:
+                                         silent noise liar split crash
+  --verbose                              print preference lists too
+  --help                                 this text
+)";
+}
+
+struct Options {
+  core::BsmConfig cfg{net::TopologyKind::FullyConnected, true, 4, 1, 1};
+  std::uint64_t seed = 1;
+  std::vector<std::string> adversaries;
+  bool verbose = false;
+};
+
+[[nodiscard]] std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help") {
+      usage();
+      return std::nullopt;
+    } else if (arg == "--topology") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      if (*v == "fully") {
+        opt.cfg.topology = net::TopologyKind::FullyConnected;
+      } else if (*v == "one-sided") {
+        opt.cfg.topology = net::TopologyKind::OneSided;
+      } else if (*v == "bipartite") {
+        opt.cfg.topology = net::TopologyKind::Bipartite;
+      } else {
+        std::cerr << "unknown topology: " << *v << "\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--auth") {
+      opt.cfg.authenticated = true;
+    } else if (arg == "--no-auth") {
+      opt.cfg.authenticated = false;
+    } else if (arg == "--k" || arg == "--tl" || arg == "--tr" || arg == "--seed") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      const auto value = static_cast<std::uint32_t>(std::stoul(*v));
+      if (arg == "--k") opt.cfg.k = value;
+      if (arg == "--tl") opt.cfg.tl = value;
+      if (arg == "--tr") opt.cfg.tr = value;
+      if (arg == "--seed") opt.seed = value;
+    } else if (arg == "--adversary") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      opt.adversaries.push_back(*v);
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << " (try --help)\n";
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+[[nodiscard]] std::unique_ptr<net::Process> make_adversary(const std::string& kind,
+                                                           const core::RunSpec& spec, PartyId id,
+                                                           std::uint64_t seed) {
+  if (kind == "silent") return std::make_unique<adversary::Silent>();
+  if (kind == "noise") return std::make_unique<adversary::RandomNoise>(seed, 4);
+  if (kind == "crash") {
+    return std::make_unique<adversary::CrashAt>(
+        3, core::honest_process_for(spec, id, spec.inputs.list(id)));
+  }
+  if (kind == "liar") {
+    const auto lie = matching::contested_profile(spec.config.k);
+    return core::honest_process_for(spec, id, lie.list(id));
+  }
+  if (kind == "split") {
+    const auto lie = matching::contested_profile(spec.config.k);
+    return std::make_unique<adversary::SplitBrain>(
+        core::honest_process_for(spec, id, spec.inputs.list(id)),
+        core::honest_process_for(spec, id, lie.list(id)),
+        [](PartyId p) { return static_cast<int>(p % 2); });
+  }
+  std::cerr << "unknown adversary kind: " << kind << "\n";
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return 2;
+  const Options& opt = *parsed;
+
+  std::cout << "Setting:   " << opt.cfg.describe() << "\n";
+  std::cout << "Verdict:   " << core::solvability_reason(opt.cfg) << "\n";
+  if (!core::solvable(opt.cfg)) {
+    std::cout << "This setting is IMPOSSIBLE per the paper; nothing to run.\n"
+              << "(See bench_attack_lemma5/7/13 for executable impossibility proofs.)\n";
+    return 2;
+  }
+
+  core::RunSpec spec;
+  spec.config = opt.cfg;
+  spec.inputs = matching::random_profile(opt.cfg.k, opt.seed);
+  spec.pki_seed = opt.seed + 1;
+
+  // Assign adversaries: alternate sides while budget remains.
+  std::uint32_t used_l = 0;
+  std::uint32_t used_r = 0;
+  for (std::size_t i = 0; i < opt.adversaries.size(); ++i) {
+    PartyId id = kNobody;
+    if (used_l < opt.cfg.tl && (used_l <= used_r || used_r >= opt.cfg.tr)) {
+      id = used_l++;
+    } else if (used_r < opt.cfg.tr) {
+      id = opt.cfg.k + used_r++;
+    } else {
+      std::cerr << "adversary #" << i + 1 << " exceeds the corruption budget; ignored\n";
+      continue;
+    }
+    auto strategy = make_adversary(opt.adversaries[i], spec, id, opt.seed + i);
+    if (!strategy) return 2;
+    spec.adversaries.push_back({id, 0, std::move(strategy)});
+  }
+
+  if (opt.verbose) {
+    std::cout << "\nPreference lists:\n";
+    for (PartyId id = 0; id < opt.cfg.n(); ++id) {
+      std::cout << "  P" << id << ": ";
+      for (PartyId c : spec.inputs.list(id)) std::cout << "P" << c << " ";
+      std::cout << "\n";
+    }
+  }
+
+  const auto out = core::run_bsm(std::move(spec));
+
+  std::cout << "\nProtocol:  " << out.spec.describe() << "\n";
+  std::cout << "Cost:      " << out.rounds << " rounds, " << out.traffic.messages
+            << " messages, " << out.traffic.bytes << " bytes\n\n";
+
+  Table table({"party", "side", "status", "matched with"});
+  for (PartyId id = 0; id < opt.cfg.n(); ++id) {
+    std::string match = "-";
+    if (!out.corrupt[id] && out.decisions[id].has_value()) {
+      match = *out.decisions[id] == kNobody ? "nobody" : "P" + std::to_string(*out.decisions[id]);
+    }
+    table.add_row({"P" + std::to_string(id), id < opt.cfg.k ? "L" : "R",
+                   out.corrupt[id] ? "byzantine" : "honest", match});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Properties: termination=" << out.report.termination
+            << " symmetry=" << out.report.symmetry << " stability=" << out.report.stability
+            << " non-competition=" << out.report.non_competition << "\n";
+  for (const auto& v : out.report.violations) std::cout << "  violation: " << v << "\n";
+  return out.report.all() ? 0 : 1;
+}
