@@ -32,7 +32,7 @@ class Host final : public net::Process {
       : hub_(net::RelayMode::Direct, 1) {
     hub_.add_instance(0, 0, std::move(participants), std::move(instance));
   }
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+  void on_round(net::Context& ctx, net::Inbox inbox) override {
     hub_.ingest(ctx, inbox);
     hub_.step_due(ctx);
     if (decided_round_ == 0 && hub_.instance(0).done()) decided_round_ = ctx.round() + 1;

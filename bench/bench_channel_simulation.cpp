@@ -19,7 +19,7 @@ using namespace bsm::net;
 class Sender final : public Process {
  public:
   Sender(RelayMode mode, PartyId to) : router_(mode), to_(to) {}
-  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+  void on_round(Context& ctx, Inbox inbox) override {
     (void)router_.route(ctx, inbox);
     if (ctx.round() == 0) router_.send(ctx, to_, Bytes{1, 2, 3, 4});
   }
@@ -32,7 +32,7 @@ class Sender final : public Process {
 class Receiver final : public Process {
  public:
   explicit Receiver(RelayMode mode) : router_(mode) {}
-  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+  void on_round(Context& ctx, Inbox inbox) override {
     for (auto& msg : router_.route(ctx, inbox)) {
       (void)msg;
       if (delivered_round_ == 0) delivered_round_ = ctx.round();
@@ -47,7 +47,7 @@ class Receiver final : public Process {
 class Forwarder final : public Process {
  public:
   explicit Forwarder(RelayMode mode) : router_(mode) {}
-  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+  void on_round(Context& ctx, Inbox inbox) override {
     (void)router_.route(ctx, inbox);
   }
 

@@ -9,88 +9,71 @@
 //  - if it says IMPOSSIBLE, report the theorem/lemma that forbids it (the
 //    matching executable attacks live in bench_attack_lemma{5,7,13}).
 // The final line states whether the empirical grid equals the paper's.
+//
+// All cells are enumerated with SweepGrid and executed in parallel with
+// run_sweep(); this file only aggregates and renders.
 #include <cstdint>
 #include <iostream>
-#include <memory>
+#include <map>
+#include <tuple>
 
-#include "adversary/strategies.hpp"
 #include "common/table.hpp"
-#include "core/oracle.hpp"
-#include "core/runner.hpp"
-#include "matching/generators.hpp"
+#include "core/sweep.hpp"
 
 namespace {
 
 using namespace bsm;
 using net::TopologyKind;
 
-bool run_battery(const core::BsmConfig& cfg) {
-  const auto lie = matching::contested_profile(cfg.k);
-  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    for (int battery = 0; battery < 4; ++battery) {
-      core::RunSpec spec;
-      spec.config = cfg;
-      spec.inputs = matching::random_profile(cfg.k, seed * 101 + battery);
-      spec.pki_seed = seed;
-      auto corrupt_one = [&](PartyId id, std::uint32_t salt) {
-        switch (battery) {
-          case 0:
-            spec.adversaries.push_back({id, 0, std::make_unique<adversary::Silent>()});
-            break;
-          case 1:
-            spec.adversaries.push_back(
-                {id, 0, std::make_unique<adversary::RandomNoise>(seed + salt, 3)});
-            break;
-          case 2:
-            spec.adversaries.push_back({id, 0, core::honest_process_for(spec, id, lie.list(id))});
-            break;
-          case 3:
-            spec.adversaries.push_back(
-                {id, 2 + salt % 3, std::make_unique<adversary::Silent>()});
-            break;
-        }
-      };
-      for (std::uint32_t i = 0; i < cfg.tl; ++i) corrupt_one(i, i);
-      for (std::uint32_t i = 0; i < cfg.tr; ++i) corrupt_one(cfg.k + i, 40 + i);
-      const auto out = core::run_bsm(std::move(spec));
-      if (!out.report.all()) return false;
-    }
-  }
-  return true;
-}
-
 }  // namespace
 
 int main() {
+  core::SweepGrid grid;
+  grid.topologies = {TopologyKind::FullyConnected, TopologyKind::OneSided,
+                     TopologyKind::Bipartite};
+  grid.auths = {false, true};
+  grid.ks = {3, 4};
+  grid.seeds = {1, 2, 3};
+  grid.batteries = {core::Battery::Silent, core::Battery::Noise, core::Battery::Liars,
+                    core::Battery::AdaptiveCrash};
+  const auto results = core::run_sweep(grid.cells());
+
+  // Aggregate: a (topology, auth, k, tL, tR) grid cell is ok iff every
+  // seed x battery run under it held all four properties.
+  std::map<std::tuple<TopologyKind, bool, std::uint32_t, std::uint32_t, std::uint32_t>, bool> ok;
+  for (const auto& cell : results) {
+    const auto& cfg = cell.scenario.config;
+    const auto key = std::make_tuple(cfg.topology, cfg.authenticated, cfg.k, cfg.tl, cfg.tr);
+    if (!cell.solvable) continue;
+    auto [it, inserted] = ok.try_emplace(key, true);
+    it->second &= cell.ok();
+  }
+
   bool grid_matches = true;
   for (const bool auth : {false, true}) {
     for (const auto topo :
          {TopologyKind::FullyConnected, TopologyKind::OneSided, TopologyKind::Bipartite}) {
       for (const std::uint32_t k : {3U, 4U}) {
-        std::cout << "=== " << net::to_string(topo) << (auth ? " / authenticated" : " / unauthenticated")
-                  << ", k = " << k << " ===\n";
-        Table table({"tL \\ tR"});
+        std::cout << "=== " << net::to_string(topo)
+                  << (auth ? " / authenticated" : " / unauthenticated") << ", k = " << k
+                  << " ===\n";
         std::vector<std::string> header{"tL \\ tR"};
         for (std::uint32_t tr = 0; tr <= k; ++tr) header.push_back(std::to_string(tr));
-        Table grid(header);
+        Table table(header);
         for (std::uint32_t tl = 0; tl <= k; ++tl) {
           std::vector<std::string> row{std::to_string(tl)};
           for (std::uint32_t tr = 0; tr <= k; ++tr) {
-            const core::BsmConfig cfg{topo, auth, k, tl, tr};
-            const bool paper = core::solvable(cfg);
-            std::string cell;
-            if (paper) {
-              const bool ok = run_battery(cfg);
-              grid_matches &= ok;
-              cell = ok ? "ok" : "FAIL";
-            } else {
-              cell = "imp";
+            const auto it = ok.find(std::make_tuple(topo, auth, k, tl, tr));
+            std::string cell = "imp";
+            if (it != ok.end()) {
+              grid_matches &= it->second;
+              cell = it->second ? "ok" : "FAIL";
             }
             row.push_back(cell);
           }
-          grid.add_row(std::move(row));
+          table.add_row(std::move(row));
         }
-        std::cout << grid.render();
+        std::cout << table.render();
         std::cout << "  legend: ok = protocol ran clean at full corruption budget;\n"
                      "          imp = impossible per the paper (see attack benches)\n\n";
       }

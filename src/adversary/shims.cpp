@@ -37,7 +37,7 @@ SplitBrain::SplitBrain(std::unique_ptr<net::Process> instance0,
   instances_[1] = std::move(instance1);
 }
 
-void SplitBrain::on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) {
+void SplitBrain::on_round(net::Context& ctx, net::Inbox inbox) {
   // Partition the inbox into the two simulated worlds.
   std::vector<net::Envelope> world_inbox[2];
   for (int w = 0; w < 2; ++w) {

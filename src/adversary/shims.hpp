@@ -46,7 +46,7 @@ class SendFiltered final : public net::Process {
   SendFiltered(std::unique_ptr<net::Process> inner, FilteringContext::SendFilter allow)
       : inner_(std::move(inner)), allow_(std::move(allow)) {}
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+  void on_round(net::Context& ctx, net::Inbox inbox) override {
     FilteringContext shim(ctx, allow_);
     inner_->on_round(shim, inbox);
   }
@@ -71,7 +71,7 @@ class SplitBrain final : public net::Process {
   SplitBrain(std::unique_ptr<net::Process> instance0, std::unique_ptr<net::Process> instance1,
              GroupOf group, std::set<PartyId> conspirators = {});
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override;
+  void on_round(net::Context& ctx, net::Inbox inbox) override;
 
  private:
   std::unique_ptr<net::Process> instances_[2];

@@ -2,7 +2,7 @@
 
 namespace bsm::adversary {
 
-void RandomNoise::on_round(net::Context& ctx, const std::vector<net::Envelope>&) {
+void RandomNoise::on_round(net::Context& ctx, net::Inbox) {
   const auto neighbors = ctx.topology().neighbors(ctx.self());
   if (neighbors.empty()) return;
   for (std::uint32_t i = 0; i < per_round_; ++i) {
@@ -11,7 +11,7 @@ void RandomNoise::on_round(net::Context& ctx, const std::vector<net::Envelope>&)
   }
 }
 
-void Replayer::on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) {
+void Replayer::on_round(net::Context& ctx, net::Inbox inbox) {
   const auto neighbors = ctx.topology().neighbors(ctx.self());
   if (neighbors.empty()) return;
   for (const auto& env : inbox) {

@@ -22,7 +22,7 @@ namespace bsm::adversary {
 /// crash before round 0).
 class Silent final : public net::Process {
  public:
-  void on_round(net::Context&, const std::vector<net::Envelope>&) override {}
+  void on_round(net::Context&, net::Inbox) override {}
 };
 
 /// Runs the wrapped (typically honest) process until `crash_round`, then
@@ -32,7 +32,7 @@ class CrashAt final : public net::Process {
   CrashAt(Round crash_round, std::unique_ptr<net::Process> inner)
       : crash_round_(crash_round), inner_(std::move(inner)) {}
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+  void on_round(net::Context& ctx, net::Inbox inbox) override {
     if (ctx.round() >= crash_round_) return;
     inner_->on_round(ctx, inbox);
   }
@@ -49,7 +49,7 @@ class RandomNoise final : public net::Process {
   RandomNoise(std::uint64_t seed, std::uint32_t messages_per_round, std::size_t max_len = 64)
       : rng_(seed), per_round_(messages_per_round), max_len_(max_len) {}
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>&) override;
+  void on_round(net::Context& ctx, net::Inbox) override;
 
  private:
   Rng rng_;
@@ -61,7 +61,7 @@ class RandomNoise final : public net::Process {
 /// replay protection in the signed transports.
 class Replayer final : public net::Process {
  public:
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override;
+  void on_round(net::Context& ctx, net::Inbox inbox) override;
 
  private:
   std::size_t cursor_ = 0;

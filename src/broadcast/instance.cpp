@@ -61,7 +61,7 @@ void InstanceHub::send_raw(net::Context& ctx, std::uint32_t channel, PartyId to,
   send_on_channel(ctx, channel, to, body);
 }
 
-void InstanceHub::ingest(net::Context& ctx, const std::vector<net::Envelope>& inbox) {
+void InstanceHub::ingest(net::Context& ctx, net::Inbox inbox) {
   for (net::AppMsg& msg : router_.route(ctx, inbox)) {
     Reader r(msg.body);
     const std::uint32_t channel = r.u32();

@@ -94,7 +94,7 @@ class InstanceHub {
   [[nodiscard]] std::vector<net::AppMsg> take_mailbox(std::uint32_t channel);
 
   /// Round phase 1: route the physical inbox, buffer per channel.
-  void ingest(net::Context& ctx, const std::vector<net::Envelope>& inbox);
+  void ingest(net::Context& ctx, net::Inbox inbox);
   /// Round phase 2: step every instance due at the current round.
   void step_due(net::Context& ctx);
 

@@ -58,7 +58,7 @@ BroadcastThenMatch::BroadcastThenMatch(const BsmConfig& cfg, BbKind bb, net::Rel
   }
 }
 
-void BroadcastThenMatch::on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) {
+void BroadcastThenMatch::on_round(net::Context& ctx, net::Inbox inbox) {
   hub_.ingest(ctx, inbox);
   hub_.step_due(ctx);
   if (decided_ || !hub_.all_done()) return;

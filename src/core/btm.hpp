@@ -27,7 +27,7 @@ class BroadcastThenMatch final : public BsmProcess {
   BroadcastThenMatch(const BsmConfig& cfg, BbKind bb, net::RelayMode relay, std::uint32_t stride,
                      PartyId self, matching::PreferenceList input);
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override;
+  void on_round(net::Context& ctx, net::Inbox inbox) override;
 
   [[nodiscard]] bool decided() const override { return decided_; }
   [[nodiscard]] PartyId decision() const override { return decision_; }

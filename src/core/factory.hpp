@@ -23,6 +23,8 @@ struct ProtocolSpec {
   Round total_rounds = 0;
 
   [[nodiscard]] std::string describe() const;
+
+  bool operator==(const ProtocolSpec&) const = default;
 };
 
 /// The construction for this setting, or nullopt when the oracle says the

@@ -137,7 +137,7 @@ GroupSimulation::GroupSimulation(const BsmConfig& big, const ProtocolSpec& big_p
   }
 }
 
-void GroupSimulation::on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) {
+void GroupSimulation::on_round(net::Context& ctx, net::Inbox inbox) {
   // Assemble each member's big inbox: last round's intra-group messages
   // plus unwrapped frames from the other simulators.
   std::map<PartyId, std::vector<net::Envelope>> big_inbox;

@@ -48,7 +48,7 @@ class GroupSimulation final : public BsmProcess {
                   PartyId small_self, matching::PreferenceList small_input,
                   std::uint64_t big_pki_seed);
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override;
+  void on_round(net::Context& ctx, net::Inbox inbox) override;
 
   [[nodiscard]] bool decided() const override;
   [[nodiscard]] PartyId decision() const override;

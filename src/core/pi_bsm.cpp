@@ -72,7 +72,7 @@ PiBsmAlgo::PiBsmAlgo(const BsmConfig& cfg, Side algo_side, PartyId self,
   hub_.add_mailbox(pi_bsm_list_channel(cfg.k));
 }
 
-void PiBsmAlgo::on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) {
+void PiBsmAlgo::on_round(net::Context& ctx, net::Inbox inbox) {
   hub_.ingest(ctx, inbox);
 
   if (ctx.round() == 1) {
@@ -151,7 +151,7 @@ PiBsmOther::PiBsmOther(const BsmConfig& cfg, Side algo_side, PartyId self,
           "PiBsmOther: invalid input list");
 }
 
-void PiBsmOther::on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) {
+void PiBsmOther::on_round(net::Context& ctx, net::Inbox inbox) {
   // Forwarding duty (Pi_bSM line 1 for R) and application-message decode.
   const std::vector<net::AppMsg> msgs = router_.route(ctx, inbox);
 

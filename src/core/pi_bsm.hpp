@@ -47,7 +47,7 @@ class PiBsmAlgo final : public BsmProcess {
  public:
   PiBsmAlgo(const BsmConfig& cfg, Side algo_side, PartyId self, matching::PreferenceList input);
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override;
+  void on_round(net::Context& ctx, net::Inbox inbox) override;
 
   [[nodiscard]] bool decided() const override { return decided_; }
   [[nodiscard]] PartyId decision() const override { return decision_; }
@@ -78,7 +78,7 @@ class PiBsmOther final : public BsmProcess {
   PiBsmOther(const BsmConfig& cfg, Side algo_side, PartyId self, matching::PreferenceList input,
              SuggestionPolicy policy = SuggestionPolicy::MostCommon);
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override;
+  void on_round(net::Context& ctx, net::Inbox inbox) override;
 
   [[nodiscard]] bool decided() const override { return decided_; }
   [[nodiscard]] PartyId decision() const override { return decision_; }

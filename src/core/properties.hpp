@@ -27,6 +27,8 @@ struct PropertyReport {
     return termination && symmetry && stability && non_competition;
   }
   [[nodiscard]] std::string summary() const;
+
+  bool operator==(const PropertyReport&) const = default;
 };
 
 /// `decisions[i]`: nullopt if party i never output (termination violation

@@ -61,7 +61,7 @@ RoommatesBtm::RoommatesBtm(const RoommatesConfig& cfg, PartyId self, std::vector
   }
 }
 
-void RoommatesBtm::on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) {
+void RoommatesBtm::on_round(net::Context& ctx, net::Inbox inbox) {
   hub_.ingest(ctx, inbox);
   hub_.step_due(ctx);
   if (decided_ || !hub_.all_done()) return;

@@ -52,7 +52,7 @@ class RoommatesBtm final : public net::Process {
  public:
   RoommatesBtm(const RoommatesConfig& cfg, PartyId self, std::vector<PartyId> input);
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override;
+  void on_round(net::Context& ctx, net::Inbox inbox) override;
 
   [[nodiscard]] bool decided() const noexcept { return decided_; }
   [[nodiscard]] PartyId decision() const noexcept { return decision_; }

@@ -42,6 +42,10 @@ struct RunOutcome {
   Round rounds = 0;
   std::vector<std::uint64_t> view_hashes;
   ProtocolSpec spec;
+
+  /// Byte-for-byte run equality — the sweep layer's serial-vs-parallel
+  /// determinism guarantee is asserted with this.
+  bool operator==(const RunOutcome&) const = default;
 };
 
 /// Run the setting's own protocol (requires a solvable configuration unless

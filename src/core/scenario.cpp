@@ -1,0 +1,138 @@
+#include "core/scenario.hpp"
+
+#include <set>
+
+#include "adversary/shims.hpp"
+#include "adversary/strategies.hpp"
+#include "matching/generators.hpp"
+
+namespace bsm::core {
+
+void apply_battery(ScenarioSpec& spec, Battery battery, std::uint64_t salt_seed) {
+  const auto& cfg = spec.config;
+  auto add = [&](PartyId id, std::uint32_t salt) {
+    AdversaryDesc desc;
+    desc.id = id;
+    switch (battery) {
+      case Battery::Silent:
+        desc.kind = AdversaryDesc::Kind::Silent;
+        break;
+      case Battery::Noise:
+        desc.kind = AdversaryDesc::Kind::Noise;
+        desc.seed = salt_seed * 97 + salt;
+        break;
+      case Battery::Liars:
+        desc.kind = AdversaryDesc::Kind::Liar;
+        break;
+      case Battery::AdaptiveCrash:
+        desc.kind = AdversaryDesc::Kind::Silent;
+        desc.when = 2 + salt % 3;
+        break;
+    }
+    spec.adversaries.push_back(desc);
+  };
+  // The full per-side budgets: the hardest legal corruption count.
+  for (std::uint32_t i = 0; i < cfg.tl; ++i) add(i, i);
+  for (std::uint32_t i = 0; i < cfg.tr; ++i) add(cfg.k + i, 100 + i);
+}
+
+namespace {
+
+[[nodiscard]] std::unique_ptr<net::Process> materialize(const AdversaryDesc& desc,
+                                                        const RunSpec& spec,
+                                                        const std::set<PartyId>& conspirators) {
+  const std::uint32_t k = spec.config.k;
+  switch (desc.kind) {
+    case AdversaryDesc::Kind::Silent:
+      return std::make_unique<adversary::Silent>();
+    case AdversaryDesc::Kind::Noise:
+      return std::make_unique<adversary::RandomNoise>(desc.seed, 3);
+    case AdversaryDesc::Kind::Liar: {
+      const auto lie = matching::contested_profile(k);
+      return honest_process_for(spec, desc.id, lie.list(desc.id));
+    }
+    case AdversaryDesc::Kind::Crash:
+      return std::make_unique<adversary::CrashAt>(
+          desc.crash_round, honest_process_for(spec, desc.id, spec.inputs.list(desc.id)));
+    case AdversaryDesc::Kind::SplitBrainLiar: {
+      const auto lie = matching::contested_profile(k);
+      return std::make_unique<adversary::SplitBrain>(
+          honest_process_for(spec, desc.id, spec.inputs.list(desc.id)),
+          honest_process_for(spec, desc.id, lie.list(desc.id)),
+          [](PartyId p) { return static_cast<int>(p % 2); });
+    }
+    case AdversaryDesc::Kind::SplitBrainRelay:
+      // The relay attack splits the disconnected side: one honest L party
+      // per world; all SplitBrainRelay parties jointly simulate one
+      // consistent duplicated system.
+      return std::make_unique<adversary::SplitBrain>(
+          honest_process_for(spec, desc.id, spec.inputs.list(desc.id)),
+          honest_process_for(
+              spec, desc.id,
+              matching::default_preference_list(side_of(desc.id, k), k)),
+          [](PartyId p) { return p == 0 ? 0 : 1; }, conspirators);
+  }
+  throw std::logic_error("materialize: unknown adversary kind");
+}
+
+}  // namespace
+
+RunSpec to_run_spec(const ScenarioSpec& scenario) {
+  RunSpec spec;
+  spec.config = scenario.config;
+  spec.inputs = matching::random_profile(scenario.config.k, scenario.input_seed);
+  spec.pki_seed = scenario.pki_seed;
+  spec.extra_rounds = scenario.extra_rounds;
+  spec.forced_spec = scenario.forced_spec;
+
+  std::set<PartyId> conspirators;
+  for (const auto& desc : scenario.adversaries) {
+    if (desc.kind == AdversaryDesc::Kind::SplitBrainRelay) conspirators.insert(desc.id);
+  }
+  for (const auto& desc : scenario.adversaries) {
+    require(desc.id < scenario.config.n(), "to_run_spec: adversary id out of range");
+    spec.adversaries.push_back({desc.id, desc.when, materialize(desc, spec, conspirators)});
+  }
+  return spec;
+}
+
+std::vector<ScenarioSpec> SweepGrid::cells() const {
+  std::vector<ScenarioSpec> out;
+  for (const auto topo : topologies) {
+    for (const bool auth : auths) {
+      for (const std::uint32_t k : ks) {
+        std::vector<std::uint32_t> tl_axis = tls;
+        std::vector<std::uint32_t> tr_axis = trs;
+        if (tl_axis.empty()) {
+          for (std::uint32_t t = 0; t <= k; ++t) tl_axis.push_back(t);
+        }
+        if (tr_axis.empty()) {
+          for (std::uint32_t t = 0; t <= k; ++t) tr_axis.push_back(t);
+        }
+        for (const std::uint32_t tl : tl_axis) {
+          for (const std::uint32_t tr : tr_axis) {
+            for (const std::uint64_t seed : seeds) {
+              for (const Battery battery : batteries) {
+                ScenarioSpec cell;
+                cell.config = BsmConfig{topo, auth, k, tl, tr};
+                // Fold every axis into the workload seed so each cell runs
+                // a distinct preference profile (a bug that only manifests
+                // on particular profiles at particular budgets stays
+                // catchable).
+                cell.input_seed =
+                    seed * 101 + static_cast<std::uint64_t>(battery) + tl * 31 + tr * 7 + k;
+                cell.pki_seed = seed + tl + tr;
+                cell.extra_rounds = extra_rounds;
+                apply_battery(cell, battery, seed * 13 + tl * 11 + tr);
+                out.push_back(std::move(cell));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bsm::core

@@ -1,0 +1,89 @@
+// Declarative scenario layer on top of RunSpec.
+//
+// RunSpec holds live process objects (unique_ptrs), so it can be neither
+// copied, compared, nor shipped to a worker thread. A ScenarioSpec is the
+// pure-value description of one experiment cell — setting, workload seed,
+// adversary plan — from which each worker materializes its own RunSpec.
+// Every harness that used to hand-roll nested loops over (k, tL, tR, seed,
+// adversary) now enumerates cells with SweepGrid and executes them with
+// run_sweep() (see core/sweep.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "core/oracle.hpp"
+#include "core/runner.hpp"
+
+namespace bsm::core {
+
+/// Pure-value description of one corrupted party.
+struct AdversaryDesc {
+  enum class Kind : std::uint8_t {
+    Silent,          ///< never sends (crash before round 0)
+    Noise,           ///< sprays random well-addressed garbage
+    Liar,            ///< honest code over the contested lie profile
+    Crash,           ///< honest code until crash_round, then silence
+    SplitBrainLiar,  ///< two honest instances (true input / lie), worlds by parity
+    SplitBrainRelay, ///< the relay split-brain device of Lemmas 5/7/13; all
+                     ///< SplitBrainRelay parties in a scenario conspire
+  };
+
+  Kind kind = Kind::Silent;
+  PartyId id = kNobody;
+  Round when = 0;          ///< corruption round (0 = byzantine from the start)
+  std::uint64_t seed = 0;  ///< Noise RNG seed
+  Round crash_round = 3;   ///< Crash only
+
+  bool operator==(const AdversaryDesc&) const = default;
+};
+
+/// The adversary batteries the solvability-grid harnesses throw at every
+/// cell: each corrupts the full per-side budget (ids 0..tL-1 and k..k+tR-1)
+/// with one strategy family.
+enum class Battery : std::uint8_t {
+  Silent,         ///< all silent from round 0
+  Noise,          ///< all spray garbage
+  Liars,          ///< all run honest code over lying inputs
+  AdaptiveCrash,  ///< silent, but corrupted only at round 2 + salt % 3
+};
+
+/// One experiment cell as a value. Copyable, hashable by content, safe to
+/// ship across threads.
+struct ScenarioSpec {
+  BsmConfig config;
+  std::uint64_t input_seed = 1;  ///< matching::random_profile seed
+  std::uint64_t pki_seed = 1;
+  Round extra_rounds = 2;
+  std::vector<AdversaryDesc> adversaries;
+  std::optional<ProtocolSpec> forced_spec;  ///< attack experiments only
+};
+
+/// Corrupt the full per-side budget of `spec.config` with `battery`;
+/// `salt_seed` varies the noise RNG streams between repetitions.
+void apply_battery(ScenarioSpec& spec, Battery battery, std::uint64_t salt_seed);
+
+/// Materialize the live RunSpec (inputs + adversary processes) for a cell.
+[[nodiscard]] RunSpec to_run_spec(const ScenarioSpec& scenario);
+
+/// Cartesian grid of scenario cells over the canonical sweep axes. Empty
+/// `tls`/`trs` mean "0..k inclusive" (the full corruption-budget range).
+struct SweepGrid {
+  std::vector<net::TopologyKind> topologies{net::TopologyKind::FullyConnected};
+  std::vector<bool> auths{true};
+  std::vector<std::uint32_t> ks{4};
+  std::vector<std::uint32_t> tls;
+  std::vector<std::uint32_t> trs;
+  std::vector<std::uint64_t> seeds{1};
+  std::vector<Battery> batteries{Battery::Silent};
+  Round extra_rounds = 2;
+
+  /// All cells, outermost axis first (topology, auth, k, tL, tR, seed,
+  /// battery); deterministic order. Unsolvable cells are included — the
+  /// sweep driver reports them as such without running.
+  [[nodiscard]] std::vector<ScenarioSpec> cells() const;
+};
+
+}  // namespace bsm::core

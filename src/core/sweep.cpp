@@ -1,0 +1,61 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace bsm::core {
+
+namespace detail {
+
+void parallel_for(std::size_t count, unsigned threads, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > count) threads = static_cast<unsigned>(count);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+CellResult run_scenario(const ScenarioSpec& scenario) {
+  CellResult result;
+  result.scenario = scenario;
+  result.solvable = solvable(scenario.config);
+  if (!result.solvable && !scenario.forced_spec.has_value()) return result;
+  result.outcome = run_bsm(to_run_spec(scenario));
+  return result;
+}
+
+std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& cells, SweepOptions opts) {
+  return run_cells(cells, run_scenario, opts);
+}
+
+}  // namespace bsm::core

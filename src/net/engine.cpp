@@ -1,6 +1,7 @@
 #include "net/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/hash.hpp"
 
@@ -50,8 +51,55 @@ class EngineContext final : public Context {
 
 }  // namespace
 
+void TrafficStats::note_send(PartyId from, PartyId to, Round round, std::size_t payload_bytes) {
+  ++messages;
+  bytes += payload_bytes;
+  if (per_round.size() <= round) per_round.resize(round + 1);
+  ++per_round[round].messages;
+  per_round[round].bytes += payload_bytes;
+  if (n != 0) {
+    auto& ch = per_channel[static_cast<std::size_t>(from) * n + to];
+    ++ch.messages;
+    ch.bytes += payload_bytes;
+  }
+}
+
+const TrafficStats::Counter& TrafficStats::channel(PartyId from, PartyId to) const {
+  require(n != 0 && from < n && to < n, "TrafficStats::channel: bad party id");
+  return per_channel[static_cast<std::size_t>(from) * n + to];
+}
+
+TrafficStats::Counter TrafficStats::round(Round r) const {
+  return r < per_round.size() ? per_round[r] : Counter{};
+}
+
+void Mailbox::assemble(std::vector<Envelope>&& sends, std::size_t n) {
+  arena_ = std::move(sends);
+  // Group by recipient, ordered by sender id; the stable sort keeps ties in
+  // deterministic generation order, so per-recipient sequences are exactly
+  // the engine's historical (and contractual) delivery order.
+  std::stable_sort(arena_.begin(), arena_.end(), [](const Envelope& a, const Envelope& b) {
+    return a.to != b.to ? a.to < b.to : a.from < b.from;
+  });
+  offsets_.assign(n + 1, 0);
+  for (const auto& env : arena_) {
+    require(env.to < n, "Mailbox::assemble: recipient out of range");
+    ++offsets_[env.to + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+}
+
+std::vector<Envelope> Mailbox::recycle() {
+  std::vector<Envelope> buffer = std::move(arena_);
+  buffer.clear();
+  return buffer;
+}
+
 Engine::Engine(Topology topo, std::uint64_t pki_seed)
-    : topo_(topo), pki_(topo.n(), pki_seed), slots_(topo.n()) {}
+    : topo_(topo), pki_(topo.n(), pki_seed), slots_(topo.n()) {
+  stats_.n = topo_.n();
+  stats_.per_channel.assign(static_cast<std::size_t>(stats_.n) * stats_.n, {});
+}
 
 void Engine::set_process(PartyId id, std::unique_ptr<Process> process) {
   require(id < slots_.size(), "Engine::set_process: bad id");
@@ -107,21 +155,14 @@ void Engine::deliver_and_step() {
     }
   }
 
-  // Group last round's messages by recipient, ordered by sender id (stable:
-  // in_flight_ already holds sends in deterministic generation order).
-  std::vector<std::vector<Envelope>> inbox(slots_.size());
-  std::stable_sort(in_flight_.begin(), in_flight_.end(),
-                   [](const Envelope& a, const Envelope& b) { return a.from < b.from; });
-  for (auto& env : in_flight_) {
-    inbox[env.to].push_back(std::move(env));
-  }
-  in_flight_.clear();
+  // Batch last round's sends into the arena: one buffer, payloads moved.
+  mailbox_.assemble(std::move(in_flight_), slots_.size());
 
   // Fold delivered messages into each recipient's view digest.
   for (PartyId id = 0; id < slots_.size(); ++id) {
     std::uint64_t v = slots_[id].view;
     v = hash_combine(v, round_);
-    for (const auto& env : inbox[id]) {
+    for (const auto& env : mailbox_.inbox(id)) {
       v = hash_combine(v, env.from);
       v = hash_combine(v, fnv1a64(env.payload));
       if (observer_) observer_(env);
@@ -129,17 +170,18 @@ void Engine::deliver_and_step() {
     slots_[id].view = v;
   }
 
-  // Step every installed process.
-  std::vector<Envelope> outgoing;
+  // Step every installed process against its arena slice.
+  std::vector<Envelope> outgoing = std::move(scratch_);
+  outgoing.clear();
   for (PartyId id = 0; id < slots_.size(); ++id) {
     auto& slot = slots_[id];
     if (slot.process == nullptr) continue;
     EngineContext ctx(id, round_, topo_, pki_, pki_.signer_for(id), outgoing, slot.corrupt);
-    slot.process->on_round(ctx, inbox[id]);
+    slot.process->on_round(ctx, mailbox_.inbox(id));
   }
 
-  stats_.messages += outgoing.size();
-  for (const auto& env : outgoing) stats_.bytes += env.payload.size();
+  for (const auto& env : outgoing) stats_.note_send(env.from, env.to, round_, env.payload.size());
+  scratch_ = mailbox_.recycle();
   in_flight_ = std::move(outgoing);
   ++round_;
 }

@@ -6,6 +6,11 @@
 // a corruption scheduled mid-run (the adaptive adversary), at which point
 // the adversarial strategy process replaces the honest one.
 //
+// Delivery is batched: each round's messages live in one contiguous arena
+// (the Mailbox), grouped by recipient and ordered by sender, and every
+// process receives its inbox as a zero-copy slice of that arena. Payloads
+// are moved, never copied, from send to delivery.
+//
 // For the impossibility experiments the engine records, per party, a hash
 // of everything the party has received — two runs are indistinguishable to
 // party P exactly when P's view hashes agree round for round.
@@ -24,10 +29,57 @@
 
 namespace bsm::net {
 
-/// Aggregate traffic statistics for benchmark harnesses.
+/// Traffic statistics for benchmark harnesses and sweep reports: aggregate
+/// totals plus per-round and per-channel (sender, recipient) breakdowns.
+/// Counters record *sent* traffic, keyed by the round the send happened in.
 struct TrafficStats {
+  struct Counter {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+
+    bool operator==(const Counter&) const = default;
+  };
+
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  std::vector<Counter> per_round;    ///< indexed by sending round
+  std::vector<Counter> per_channel;  ///< flattened n x n matrix, from * n + to
+  std::uint32_t n = 0;               ///< parties (per_channel row width)
+
+  void note_send(PartyId from, PartyId to, Round round, std::size_t payload_bytes);
+
+  /// Sent-traffic counter for the directed channel from -> to.
+  [[nodiscard]] const Counter& channel(PartyId from, PartyId to) const;
+  /// Sent-traffic counter for `round` (zero counter past the last send).
+  [[nodiscard]] Counter round(Round r) const;
+
+  bool operator==(const TrafficStats&) const = default;
+};
+
+/// One round's deliveries as a single flat arena: envelopes grouped by
+/// recipient, ordered by sender id within each group (ties keep send
+/// order). Buffers are recycled round over round — steady state makes no
+/// envelope allocations, and payloads are moved in, never copied.
+class Mailbox {
+ public:
+  /// Take ownership of last round's sends and index them by recipient.
+  /// `sends` is left empty (its buffer is reclaimed via `recycle`).
+  void assemble(std::vector<Envelope>&& sends, std::size_t n);
+
+  /// The slice of the arena addressed to `id`. Valid until the next
+  /// assemble().
+  [[nodiscard]] Inbox inbox(PartyId id) const {
+    return Inbox(arena_.data() + offsets_[id], offsets_[id + 1] - offsets_[id]);
+  }
+
+  [[nodiscard]] std::size_t total() const noexcept { return arena_.size(); }
+
+  /// Surrender the arena buffer for reuse as next round's send buffer.
+  [[nodiscard]] std::vector<Envelope> recycle();
+
+ private:
+  std::vector<Envelope> arena_;
+  std::vector<std::size_t> offsets_;  ///< n + 1 arena offsets, one per recipient
 };
 
 class Engine {
@@ -94,6 +146,8 @@ class Engine {
   std::vector<Slot> slots_;
   std::map<PartyId, PendingCorruption> pending_corruptions_;
   std::vector<Envelope> in_flight_;
+  std::vector<Envelope> scratch_;  ///< recycled send buffer
+  Mailbox mailbox_;
   Round round_ = 0;
   TrafficStats stats_;
   Observer observer_;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -29,6 +30,12 @@ struct Envelope {
   Round sent_round = 0;
   Bytes payload;
 };
+
+/// The messages delivered to one party this round: a contiguous slice of
+/// the engine's per-round mailbox arena, ordered by sender id (and by send
+/// order within one sender). A `std::vector<Envelope>` converts implicitly,
+/// so shims that rewrite inboxes can still hand their own buffers down.
+using Inbox = std::span<const Envelope>;
 
 /// Per-round services the engine (or an adversarial shim) offers a process.
 class Context {
@@ -56,7 +63,7 @@ class Process {
 
   /// Called once per round, in increasing round order, starting at round 0
   /// (whose inbox is always empty).
-  virtual void on_round(Context& ctx, const std::vector<Envelope>& inbox) = 0;
+  virtual void on_round(Context& ctx, Inbox inbox) = 0;
 };
 
 }  // namespace bsm::net

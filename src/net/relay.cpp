@@ -58,7 +58,7 @@ void RelayRouter::send(Context& ctx, PartyId to, const Bytes& body) {
   }
 }
 
-std::vector<AppMsg> RelayRouter::route(Context& ctx, const std::vector<Envelope>& inbox) {
+std::vector<AppMsg> RelayRouter::route(Context& ctx, Inbox inbox) {
   std::vector<AppMsg> out;
   const Topology& topo = ctx.topology();
   const std::uint32_t k = topo.k();

@@ -52,7 +52,7 @@ class RelayRouter {
   /// Decode a physical inbox: forward relay requests addressed to others,
   /// apply the acceptance rule for relayed messages addressed to us, and
   /// return all application messages delivered this round.
-  [[nodiscard]] std::vector<AppMsg> route(Context& ctx, const std::vector<Envelope>& inbox);
+  [[nodiscard]] std::vector<AppMsg> route(Context& ctx, Inbox inbox);
 
   /// Number of relayed messages this router refused (bad signature, stale
   /// timestamp, replay, sub-majority support). Exposed for tests/benches.

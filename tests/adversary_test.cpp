@@ -14,7 +14,7 @@ class Beacon final : public net::Process {
  public:
   Beacon(PartyId peer, Bytes payload) : peer_(peer), payload_(std::move(payload)) {}
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+  void on_round(net::Context& ctx, net::Inbox inbox) override {
     ctx.send(peer_, payload_);
     for (const auto& env : inbox) heard_.push_back(env.payload);
   }
@@ -103,7 +103,7 @@ TEST(Shims, SplitBrainRoutesInboxByGroup) {
   // World 0's instance must only hear from group 0.
   class Recorder final : public net::Process {
    public:
-    void on_round(net::Context&, const std::vector<net::Envelope>& inbox) override {
+    void on_round(net::Context&, net::Inbox inbox) override {
       for (const auto& env : inbox) senders_.push_back(env.from);
     }
     std::vector<PartyId> senders_;
@@ -149,7 +149,7 @@ TEST(Shims, SplitBrainSelfSendsStayInWorld) {
   class SelfCounter final : public net::Process {
    public:
     explicit SelfCounter(std::uint8_t tag) : tag_(tag) {}
-    void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+    void on_round(net::Context& ctx, net::Inbox inbox) override {
       ctx.send(ctx.self(), Bytes{tag_});
       for (const auto& env : inbox) {
         ASSERT_EQ(env.payload, Bytes{tag_});  // never the other world's tag

@@ -27,7 +27,7 @@ class Host final : public net::Process {
       : hub_(relay, stride) {
     hub_.add_instance(0, 0, std::move(parts), std::move(inst));
   }
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+  void on_round(net::Context& ctx, net::Inbox inbox) override {
     hub_.ingest(ctx, inbox);
     hub_.step_due(ctx);
   }
@@ -109,7 +109,7 @@ TEST(PhaseKingEdge, EmptyAndLargeValuesAreFirstClass) {
 /// Injects a hand-crafted Dolev-Strong chain frame with a bogus signature.
 class ChainForger final : public net::Process {
  public:
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>&) override {
+  void on_round(net::Context& ctx, net::Inbox) override {
     if (ctx.round() != 1) return;  // arrive at step >= 1 with 1 "signature"
     Writer chain;
     chain.u8(6);  // MsgKind::Chain
@@ -175,7 +175,7 @@ TEST(HubEdge, NonParticipantTrafficIsFiltered) {
   }
   class ValueInjector final : public net::Process {
    public:
-    void on_round(net::Context& ctx, const std::vector<net::Envelope>&) override {
+    void on_round(net::Context& ctx, net::Inbox) override {
       Writer kv;
       kv.u8(1);  // MsgKind::Value
       kv.bytes({0xEE});

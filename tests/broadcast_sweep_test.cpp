@@ -24,7 +24,7 @@ class Host final : public net::Process {
       : hub_(net::RelayMode::Direct, 1) {
     hub_.add_instance(0, 0, std::move(parts), std::move(inst));
   }
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+  void on_round(net::Context& ctx, net::Inbox inbox) override {
     hub_.ingest(ctx, inbox);
     hub_.step_due(ctx);
   }

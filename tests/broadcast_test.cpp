@@ -54,7 +54,7 @@ class HostProcess final : public net::Process {
     hub_.add_instance(channel, 0, std::move(participants), std::move(instance));
   }
 
-  void on_round(net::Context& ctx, const std::vector<net::Envelope>& inbox) override {
+  void on_round(net::Context& ctx, net::Inbox inbox) override {
     hub_.ingest(ctx, inbox);
     hub_.step_due(ctx);
   }

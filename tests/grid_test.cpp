@@ -2,42 +2,22 @@
 // k, a solvable cell must survive an adversary battery with all four bSM
 // properties intact — the test-suite version of the paper's results grid
 // (the full grid lives in bench_solvability_grid).
+//
+// Cells are enumerated declaratively with SweepGrid and executed through
+// run_sweep(), the same engine the benches use.
 #include <gtest/gtest.h>
 
 #include "adversary/strategies.hpp"
 #include "core/oracle.hpp"
 #include "core/runner.hpp"
 #include "core/ssm.hpp"
+#include "core/sweep.hpp"
 #include "matching/generators.hpp"
 
 namespace bsm::core {
 namespace {
 
 using net::TopologyKind;
-
-enum class Battery { Silent, Noise, Liars };
-
-void add_battery(RunSpec& spec, Battery battery, std::uint64_t seed) {
-  const auto& cfg = spec.config;
-  const auto lie = matching::contested_profile(cfg.k);
-  auto add = [&](PartyId id, std::uint32_t salt) {
-    switch (battery) {
-      case Battery::Silent:
-        spec.adversaries.push_back({id, 0, std::make_unique<adversary::Silent>()});
-        break;
-      case Battery::Noise:
-        spec.adversaries.push_back(
-            {id, 0, std::make_unique<adversary::RandomNoise>(seed * 97 + salt, 3)});
-        break;
-      case Battery::Liars:
-        spec.adversaries.push_back({id, 0, honest_process_for(spec, id, lie.list(id))});
-        break;
-    }
-  };
-  // Use the full per-side budgets: the hardest legal corruption count.
-  for (std::uint32_t i = 0; i < cfg.tl; ++i) add(i, i);
-  for (std::uint32_t i = 0; i < cfg.tr; ++i) add(cfg.k + i, 100 + i);
-}
 
 struct GridParam {
   TopologyKind topo;
@@ -49,22 +29,22 @@ class SolvabilityGrid : public ::testing::TestWithParam<GridParam> {};
 
 TEST_P(SolvabilityGrid, EverySolvableCellHoldsAllProperties) {
   const auto [topo, auth, battery] = GetParam();
-  for (std::uint32_t k = 2; k <= 3; ++k) {
-    for (std::uint32_t tl = 0; tl <= k; ++tl) {
-      for (std::uint32_t tr = 0; tr <= k; ++tr) {
-        const BsmConfig cfg{topo, auth, k, tl, tr};
-        if (!solvable(cfg)) continue;
-        RunSpec spec;
-        spec.config = cfg;
-        spec.inputs = matching::random_profile(k, 1000 + tl * 31 + tr * 7 + k);
-        spec.pki_seed = 5 + tl + tr;
-        add_battery(spec, battery, tl * 11 + tr);
-        const auto out = run_bsm(std::move(spec));
-        EXPECT_TRUE(out.report.all())
-            << cfg.describe() << " battery=" << static_cast<int>(battery) << " -> "
-            << out.report.summary();
-      }
+  SweepGrid grid;
+  grid.topologies = {topo};
+  grid.auths = {auth};
+  grid.ks = {2, 3};
+  grid.seeds = {1};
+  grid.batteries = {battery};
+  const auto results = run_sweep(grid.cells());
+  ASSERT_FALSE(results.empty());
+  for (const auto& cell : results) {
+    if (!cell.solvable) {
+      EXPECT_FALSE(cell.outcome.has_value());
+      continue;
     }
+    EXPECT_TRUE(cell.ok()) << cell.scenario.config.describe()
+                           << " battery=" << static_cast<int>(battery) << " -> "
+                           << cell.outcome->report.summary();
   }
 }
 
@@ -99,6 +79,7 @@ INSTANTIATE_TEST_SUITE_P(
         case Battery::Silent: name += "_silent"; break;
         case Battery::Noise: name += "_noise"; break;
         case Battery::Liars: name += "_liars"; break;
+        case Battery::AdaptiveCrash: name += "_adaptive"; break;
       }
       return name;
     });

@@ -55,7 +55,7 @@ TEST(Lemma3Misc, SpoofedCrossGroupFramesAreDropped) {
   // (owned by small party 0).
   class Spoofer final : public net::Process {
    public:
-    void on_round(net::Context& ctx, const std::vector<net::Envelope>&) override {
+    void on_round(net::Context& ctx, net::Inbox) override {
       Writer w;
       w.u8(0xD3);
       w.u32(0);  // from_big: owned by small 0, not us
@@ -84,14 +84,14 @@ TEST(AdversaryMisc, CrashAtZeroIsSilent) {
   net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, 1), 1);
   class Chatty final : public net::Process {
    public:
-    void on_round(net::Context& ctx, const std::vector<net::Envelope>&) override {
+    void on_round(net::Context& ctx, net::Inbox) override {
       ctx.send(1, {1});
     }
   };
   engine.set_corrupt(0, std::make_unique<adversary::CrashAt>(0, std::make_unique<Chatty>()));
   class Count final : public net::Process {
    public:
-    void on_round(net::Context&, const std::vector<net::Envelope>& inbox) override {
+    void on_round(net::Context&, net::Inbox inbox) override {
       total_ += inbox.size();
     }
     std::size_t total_ = 0;
@@ -111,7 +111,7 @@ TEST(AdversaryMisc, FilteringContextPassesMetadata) {
   net::Engine engine(net::Topology(net::TopologyKind::OneSided, 2), 1);
   class Probe final : public net::Process {
    public:
-    void on_round(net::Context& ctx, const std::vector<net::Envelope>&) override {
+    void on_round(net::Context& ctx, net::Inbox) override {
       self_seen_ = ctx.self();
       topo_kind_ = ctx.topology().kind();
       can_sign_ = ctx.pki().verify(ctx.self(), {1}, ctx.signer().sign({1}));

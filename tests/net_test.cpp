@@ -62,7 +62,7 @@ class PingProcess final : public Process {
  public:
   PingProcess(PartyId peer, Bytes payload) : peer_(peer), payload_(std::move(payload)) {}
 
-  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+  void on_round(Context& ctx, Inbox inbox) override {
     if (ctx.round() == 0) ctx.send(peer_, payload_);
     for (const auto& env : inbox) heard_.push_back(env);
   }
@@ -125,11 +125,11 @@ TEST(Engine, ScheduledCorruptionReplacesProcess) {
   // round 2 it is replaced by silence.
   class Chatty final : public Process {
    public:
-    void on_round(Context& ctx, const std::vector<Envelope>&) override { ctx.send(1, {9}); }
+    void on_round(Context& ctx, Inbox) override { ctx.send(1, {9}); }
   };
   class Quiet final : public Process {
    public:
-    void on_round(Context&, const std::vector<Envelope>&) override {}
+    void on_round(Context&, Inbox) override {}
   };
   Engine engine(Topology(TopologyKind::FullyConnected, 1), 1);
   engine.set_process(0, std::make_unique<Chatty>());

@@ -85,7 +85,7 @@ TEST(PiBsmEdge, HostileSuggestionsWithWrongSideAreIgnored) {
   class NonsenseSuggester final : public net::Process {
    public:
     explicit NonsenseSuggester(std::uint32_t k) : k_(k) {}
-    void on_round(net::Context& ctx, const std::vector<net::Envelope>&) override {
+    void on_round(net::Context& ctx, net::Inbox) override {
       if (ctx.round() != 0) return;
       for (PartyId b = k_; b < 2 * k_; ++b) {
         Writer inner;

@@ -14,7 +14,7 @@ namespace {
 class Collector final : public Process {
  public:
   explicit Collector(RelayMode mode) : router_(mode) {}
-  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+  void on_round(Context& ctx, Inbox inbox) override {
     for (auto& m : router_.route(ctx, inbox)) delivered_.push_back(std::move(m));
   }
   std::vector<AppMsg> delivered_;
@@ -24,7 +24,7 @@ class Collector final : public Process {
 class RawSender final : public Process {
  public:
   RawSender(Round when, PartyId to, Bytes frame) : when_(when), to_(to), frame_(std::move(frame)) {}
-  void on_round(Context& ctx, const std::vector<Envelope>&) override {
+  void on_round(Context& ctx, Inbox) override {
     if (ctx.round() == when_) ctx.send(to_, frame_);
   }
 
@@ -83,7 +83,7 @@ TEST(RelayEdge, DuplicateVotesFromOneRelayCountOnce) {
   Fixture f;
   class DoubleVoter final : public Process {
    public:
-    void on_round(Context& ctx, const std::vector<Envelope>&) override {
+    void on_round(Context& ctx, Inbox) override {
       if (ctx.round() > 1) return;
       ctx.send(1, fwd_frame(0, 1, 5, 0, {7}));
       ctx.send(1, fwd_frame(0, 1, 5, 0, {7}));
@@ -140,7 +140,7 @@ TEST(RelayEdge, TimedWindowBoundaryIsInclusive) {
   class TwoSends final : public Process {
    public:
     TwoSends(Bytes on_time, Bytes late) : on_time_(std::move(on_time)), late_(std::move(late)) {}
-    void on_round(Context& ctx, const std::vector<Envelope>&) override {
+    void on_round(Context& ctx, Inbox) override {
       if (ctx.round() == 1) ctx.send(1, on_time_);
       if (ctx.round() == 2) ctx.send(1, late_);
     }
@@ -158,7 +158,7 @@ TEST(RelayEdge, SelfSendUsesDirectFrame) {
   class SelfTalker final : public Process {
    public:
     SelfTalker() : router_(RelayMode::UnauthMajority) {}
-    void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+    void on_round(Context& ctx, Inbox inbox) override {
       for (auto& m : router_.route(ctx, inbox)) heard_.push_back(std::move(m));
       if (ctx.round() == 0) router_.send(ctx, ctx.self(), Bytes{1, 2});
     }
@@ -192,12 +192,12 @@ TEST(EngineEdge, CorruptionScheduledBeforeRunZeroActsFromStart) {
   Engine engine(Topology(TopologyKind::FullyConnected, 1), 1);
   class Chatty final : public Process {
    public:
-    void on_round(Context& ctx, const std::vector<Envelope>&) override { ctx.send(1, {1}); }
+    void on_round(Context& ctx, Inbox) override { ctx.send(1, {1}); }
   };
   engine.set_process(0, std::make_unique<Chatty>());
   class Count final : public Process {
    public:
-    void on_round(Context&, const std::vector<Envelope>& inbox) override {
+    void on_round(Context&, Inbox inbox) override {
       count_ += inbox.size();
     }
     std::size_t count_ = 0;

@@ -23,7 +23,7 @@ class RelayUser final : public Process {
   RelayUser(RelayMode mode, std::vector<ScriptedSend> script)
       : router_(mode), script_(std::move(script)) {}
 
-  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+  void on_round(Context& ctx, Inbox inbox) override {
     for (auto& msg : router_.route(ctx, inbox)) delivered_.push_back(std::move(msg));
     for (const auto& s : script_) {
       if (s.round == ctx.round()) router_.send(ctx, s.to, s.body);
@@ -45,7 +45,7 @@ class GarblingRelay final : public Process {
  public:
   explicit GarblingRelay(RelayMode mode) : router_(mode) {}
 
-  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
+  void on_round(Context& ctx, Inbox inbox) override {
     struct Shim final : Context {
       explicit Shim(Context& base) : base_(&base) {}
       void send(PartyId to, const Bytes& payload) override {
@@ -73,8 +73,9 @@ class DelayingRelay final : public Process {
  public:
   DelayingRelay(RelayMode mode, Round delay) : router_(mode), delay_(delay) {}
 
-  void on_round(Context& ctx, const std::vector<Envelope>& inbox) override {
-    buffer_.push_back(inbox);
+  void on_round(Context& ctx, Inbox inbox) override {
+    // The inbox slice only lives for this round; a delaying relay must copy.
+    buffer_.emplace_back(inbox.begin(), inbox.end());
     if (buffer_.size() > delay_) {
       (void)router_.route(ctx, buffer_.front());
       buffer_.erase(buffer_.begin());
@@ -89,7 +90,7 @@ class DelayingRelay final : public Process {
 
 class SilentProcess final : public Process {
  public:
-  void on_round(Context&, const std::vector<Envelope>&) override {}
+  void on_round(Context&, Inbox) override {}
 };
 
 /// One-sided market of size k: L parties are RelayUsers, R parties are the
@@ -173,7 +174,7 @@ TEST(Relay, MajorityRejectsSpoofedSource) {
   class RawSender final : public Process {
    public:
     explicit RawSender(Bytes frame) : frame_(std::move(frame)) {}
-    void on_round(Context& ctx, const std::vector<Envelope>&) override {
+    void on_round(Context& ctx, Inbox) override {
       if (ctx.round() == 0) ctx.send(1, frame_);
     }
     Bytes frame_;
@@ -246,7 +247,7 @@ TEST(Relay, MalformedFramesAreCountedNotFatal) {
   Fixture f(2, RelayMode::UnauthMajority);
   class Noise final : public Process {
    public:
-    void on_round(Context& ctx, const std::vector<Envelope>&) override {
+    void on_round(Context& ctx, Inbox) override {
       if (ctx.round() == 0) ctx.send(0, Bytes{0xFF, 0xFF, 0xFF});
     }
   };

@@ -83,7 +83,7 @@ TEST(SsmGrid, EngineObserverSeesEveryDeliveredMessage) {
   engine.set_observer([&](const net::Envelope&) { ++observed; });
   class Chatty final : public net::Process {
    public:
-    void on_round(net::Context& ctx, const std::vector<net::Envelope>&) override {
+    void on_round(net::Context& ctx, net::Inbox) override {
       for (PartyId p = 0; p < 4; ++p) ctx.send(p, Bytes{1});
     }
   };

@@ -1,0 +1,197 @@
+// The sweep layer's two contracts:
+//
+//  1. Determinism — run_sweep() over a thread pool produces results
+//     byte-identical to the serial fallback, cell for cell (same view
+//     hashes, same PropertyReports, same traffic counters).
+//  2. Traffic accounting — the batched mailbox engine's TrafficStats
+//     per-round and per-channel counters are exact decompositions of the
+//     aggregate totals, and inbox slices arrive ordered by sender.
+#include <gtest/gtest.h>
+
+#include "core/sweep.hpp"
+#include "net/engine.hpp"
+
+namespace bsm::core {
+namespace {
+
+[[nodiscard]] std::vector<ScenarioSpec> determinism_grid() {
+  SweepGrid grid;
+  grid.topologies = {net::TopologyKind::FullyConnected, net::TopologyKind::OneSided};
+  grid.auths = {true};
+  grid.ks = {2, 3};
+  grid.seeds = {1, 2};
+  grid.batteries = {Battery::Silent, Battery::Liars};
+  return grid.cells();
+}
+
+TEST(Sweep, SerialAndParallelResultsAreByteIdentical) {
+  const auto cells = determinism_grid();
+  ASSERT_GE(cells.size(), 64U) << "the acceptance grid must have at least 64 cells";
+
+  const auto serial = run_sweep(cells, {.threads = 1});
+  const auto parallel = run_sweep(cells, {.threads = 4});
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].solvable, parallel[i].solvable);
+    ASSERT_EQ(serial[i].outcome.has_value(), parallel[i].outcome.has_value());
+    if (!serial[i].outcome.has_value()) continue;
+    const auto& s = *serial[i].outcome;
+    const auto& p = *parallel[i].outcome;
+    EXPECT_EQ(s.view_hashes, p.view_hashes) << cells[i].config.describe();
+    EXPECT_EQ(s.report, p.report) << cells[i].config.describe();
+    EXPECT_TRUE(s == p) << "full RunOutcome mismatch at " << cells[i].config.describe();
+  }
+}
+
+TEST(Sweep, RepeatedParallelRunsAreStable) {
+  // Same grid, two parallel executions: the schedule must not leak into
+  // results.
+  const auto cells = determinism_grid();
+  const auto a = run_sweep(cells, {.threads = 4});
+  const auto b = run_sweep(cells, {.threads = 4});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].outcome.has_value(), b[i].outcome.has_value());
+    if (a[i].outcome.has_value()) EXPECT_TRUE(*a[i].outcome == *b[i].outcome);
+  }
+}
+
+TEST(Sweep, UnsolvableCellsAreReportedNotRun) {
+  SweepGrid grid;
+  grid.topologies = {net::TopologyKind::FullyConnected};
+  grid.auths = {false};
+  grid.ks = {3};
+  const auto results = run_sweep(grid.cells());
+  bool saw_unsolvable = false;
+  for (const auto& cell : results) {
+    if (!cell.solvable) {
+      saw_unsolvable = true;
+      EXPECT_FALSE(cell.outcome.has_value());
+      EXPECT_FALSE(cell.ok());
+    }
+  }
+  EXPECT_TRUE(saw_unsolvable) << "unauthenticated k=3 must contain impossible cells";
+}
+
+TEST(Sweep, RunCellsPreservesInputOrder) {
+  std::vector<int> cells(100);
+  for (int i = 0; i < 100; ++i) cells[i] = i;
+  const auto doubled =
+      run_cells(cells, [](const int& x) { return 2 * x; }, {.threads = 8});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(doubled[i], 2 * i);
+}
+
+TEST(Sweep, CellExceptionsPropagateToCaller) {
+  std::vector<int> cells{1, 2, 3, 4};
+  EXPECT_THROW((void)run_cells(
+                   cells,
+                   [](const int& x) {
+                     if (x == 3) throw std::runtime_error("boom");
+                     return x;
+                   },
+                   {.threads = 2}),
+               std::runtime_error);
+}
+
+/// Sends one fixed-size message to `peer` every round.
+class Pinger final : public net::Process {
+ public:
+  explicit Pinger(PartyId peer) : peer_(peer) {}
+  void on_round(net::Context& ctx, net::Inbox) override { ctx.send(peer_, Bytes{1, 2, 3}); }
+
+ private:
+  PartyId peer_;
+};
+
+/// Records the sender sequence of every inbox it receives.
+class SenderRecorder final : public net::Process {
+ public:
+  void on_round(net::Context&, net::Inbox inbox) override {
+    for (const auto& env : inbox) senders.push_back(env.from);
+  }
+  std::vector<PartyId> senders;
+};
+
+TEST(TrafficStats, PerRoundAndPerChannelCountersDecomposeTotals) {
+  const std::uint32_t k = 2;  // parties 0,1 (L) and 2,3 (R), fully connected
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, k), 1);
+  engine.set_process(0, std::make_unique<Pinger>(2));
+  engine.set_process(1, std::make_unique<Pinger>(2));
+  engine.set_process(2, std::make_unique<SenderRecorder>());
+  const Round rounds = 5;
+  engine.run(rounds);
+
+  const auto& stats = engine.stats();
+  EXPECT_EQ(stats.messages, 2U * rounds);
+  EXPECT_EQ(stats.bytes, 2U * rounds * 3);
+
+  // Per-round counters decompose the totals exactly.
+  std::uint64_t round_messages = 0;
+  std::uint64_t round_bytes = 0;
+  for (Round r = 0; r < rounds; ++r) {
+    EXPECT_EQ(stats.round(r).messages, 2U);
+    EXPECT_EQ(stats.round(r).bytes, 6U);
+    round_messages += stats.round(r).messages;
+    round_bytes += stats.round(r).bytes;
+  }
+  EXPECT_EQ(round_messages, stats.messages);
+  EXPECT_EQ(round_bytes, stats.bytes);
+  EXPECT_EQ(stats.round(rounds + 7).messages, 0U) << "rounds past the run are zero";
+
+  // Per-channel counters decompose the totals exactly.
+  std::uint64_t channel_messages = 0;
+  std::uint64_t channel_bytes = 0;
+  for (PartyId from = 0; from < 2 * k; ++from) {
+    for (PartyId to = 0; to < 2 * k; ++to) {
+      channel_messages += stats.channel(from, to).messages;
+      channel_bytes += stats.channel(from, to).bytes;
+    }
+  }
+  EXPECT_EQ(channel_messages, stats.messages);
+  EXPECT_EQ(channel_bytes, stats.bytes);
+
+  // And individual channels carry exactly their own traffic.
+  EXPECT_EQ(stats.channel(0, 2).messages, static_cast<std::uint64_t>(rounds));
+  EXPECT_EQ(stats.channel(0, 2).bytes, static_cast<std::uint64_t>(rounds) * 3);
+  EXPECT_EQ(stats.channel(1, 2), stats.channel(0, 2));
+  EXPECT_EQ(stats.channel(2, 0).messages, 0U);
+}
+
+TEST(TrafficStats, SweepOutcomesCarryChannelCounters) {
+  SweepGrid grid;
+  grid.ks = {3};
+  grid.tls = {1};
+  grid.trs = {1};
+  const auto results = run_sweep(grid.cells());
+  ASSERT_FALSE(results.empty());
+  for (const auto& cell : results) {
+    if (!cell.outcome.has_value()) continue;
+    const auto& traffic = cell.outcome->traffic;
+    ASSERT_EQ(traffic.n, cell.scenario.config.n());
+    std::uint64_t sum = 0;
+    for (const auto& counter : traffic.per_channel) sum += counter.messages;
+    EXPECT_EQ(sum, traffic.messages);
+    std::uint64_t round_sum = 0;
+    for (const auto& counter : traffic.per_round) round_sum += counter.bytes;
+    EXPECT_EQ(round_sum, traffic.bytes);
+  }
+}
+
+TEST(Mailbox, InboxSlicesArriveOrderedBySender) {
+  // Senders installed in descending id order still deliver ascending.
+  const std::uint32_t k = 2;
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, k), 1);
+  engine.set_process(3, std::make_unique<Pinger>(0));
+  engine.set_process(2, std::make_unique<Pinger>(0));
+  engine.set_process(1, std::make_unique<Pinger>(0));
+  engine.set_process(0, std::make_unique<SenderRecorder>());
+  engine.run(3);  // deliveries happen in rounds 1 and 2
+
+  const auto& recorder = engine.process_as<SenderRecorder>(0);
+  const std::vector<PartyId> expected{1, 2, 3, 1, 2, 3};
+  EXPECT_EQ(recorder.senders, expected);
+}
+
+}  // namespace
+}  // namespace bsm::core

@@ -1,19 +1,28 @@
 // bsm_cli — run any byzantine-stable-matching scenario from the command
-// line and inspect the outcome.
+// line and inspect the outcome, or sweep whole scenario grids in parallel.
 //
 // Usage:
 //   bsm_cli [--topology fully|one-sided|bipartite] [--auth|--no-auth]
 //           [--k N] [--tl N] [--tr N] [--seed S]
 //           [--adversary silent|noise|liar|split|crash]...
 //           [--verbose]
+//   bsm_cli sweep [--topology LIST] [--auth both|on|off] [--k LIST]
+//                 [--tl LIST] [--tr LIST] [--seeds N] [--battery LIST]
+//                 [--threads N]
 //
 // Adversaries are assigned to the highest-budget ids per side, one flag per
 // corrupted party, alternating L then R while budget remains. Exits 0 when
 // all four bSM properties held; 2 when the setting is unsolvable per the
 // paper; 1 on a property violation (which inside the solvable region would
 // be a library bug — please report it).
+//
+// `sweep` enumerates the cartesian grid, executes every cell on a thread
+// pool via run_sweep(), and emits one machine-readable JSON document on
+// stdout. Exits 0 iff every solvable cell held all four properties.
+#include <charconv>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "adversary/shims.hpp"
@@ -21,6 +30,7 @@
 #include "common/table.hpp"
 #include "core/oracle.hpp"
 #include "core/runner.hpp"
+#include "core/sweep.hpp"
 #include "matching/generators.hpp"
 
 namespace {
@@ -40,7 +50,183 @@ void usage() {
                                          silent noise liar split crash
   --verbose                              print preference lists too
   --help                                 this text
+
+sweep subcommand (bsm_cli sweep ...): run a whole grid, emit JSON
+  --topology LIST      comma list of fully,one-sided,bipartite (default all)
+  --auth both|on|off   authentication axis             (default: both)
+  --k LIST             comma list of market sizes      (default: 3)
+  --tl LIST / --tr LIST  comma lists of budgets        (default: 0..k)
+  --seeds N            workload seeds 1..N             (default: 2)
+  --battery LIST       comma list of silent,noise,liars,adaptive (default all)
+  --threads N          worker threads, 0 = hardware    (default: 0)
 )";
+}
+
+// ------------------------------------------------------------- sweep mode
+
+/// Strict non-negative integer parse: rejects junk, signs, and overflow
+/// (std::stoul would accept "-1" as 2^64-1 and throw on "abc").
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+int run_sweep_command(int argc, char** argv) {
+  core::SweepGrid grid;
+  grid.topologies = {net::TopologyKind::FullyConnected, net::TopologyKind::OneSided,
+                     net::TopologyKind::Bipartite};
+  grid.auths = {false, true};
+  grid.ks = {3};
+  grid.batteries = {core::Battery::Silent, core::Battery::Noise, core::Battery::Liars,
+                    core::Battery::AdaptiveCrash};
+  std::uint64_t num_seeds = 2;
+  core::SweepOptions opts;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help") {
+      usage();
+      return 2;
+    }
+    const auto value = next();
+    if (!value) {
+      std::cerr << "missing value for " << arg << "\n";
+      return 2;
+    }
+    if (arg == "--topology") {
+      grid.topologies.clear();
+      for (const auto& t : split_csv(*value)) {
+        if (t == "fully") {
+          grid.topologies.push_back(net::TopologyKind::FullyConnected);
+        } else if (t == "one-sided") {
+          grid.topologies.push_back(net::TopologyKind::OneSided);
+        } else if (t == "bipartite") {
+          grid.topologies.push_back(net::TopologyKind::Bipartite);
+        } else {
+          std::cerr << "unknown topology: " << t << "\n";
+          return 2;
+        }
+      }
+    } else if (arg == "--auth") {
+      if (*value == "both") {
+        grid.auths = {false, true};
+      } else if (*value == "on") {
+        grid.auths = {true};
+      } else if (*value == "off") {
+        grid.auths = {false};
+      } else {
+        std::cerr << "unknown --auth value: " << *value << "\n";
+        return 2;
+      }
+    } else if (arg == "--k" || arg == "--tl" || arg == "--tr") {
+      std::vector<std::uint32_t> values;
+      for (const auto& v : split_csv(*value)) {
+        const auto parsed = parse_u64(v);
+        if (!parsed || *parsed > 64) {
+          std::cerr << "bad " << arg << " value: " << v << " (expected 0..64)\n";
+          return 2;
+        }
+        values.push_back(static_cast<std::uint32_t>(*parsed));
+      }
+      if (arg == "--k") grid.ks = values;
+      if (arg == "--tl") grid.tls = values;
+      if (arg == "--tr") grid.trs = values;
+    } else if (arg == "--seeds") {
+      const auto parsed = parse_u64(*value);
+      if (!parsed || *parsed == 0 || *parsed > 10000) {
+        std::cerr << "bad --seeds value: " << *value << " (expected 1..10000)\n";
+        return 2;
+      }
+      num_seeds = *parsed;
+    } else if (arg == "--battery") {
+      grid.batteries.clear();
+      for (const auto& b : split_csv(*value)) {
+        if (b == "silent") {
+          grid.batteries.push_back(core::Battery::Silent);
+        } else if (b == "noise") {
+          grid.batteries.push_back(core::Battery::Noise);
+        } else if (b == "liars") {
+          grid.batteries.push_back(core::Battery::Liars);
+        } else if (b == "adaptive") {
+          grid.batteries.push_back(core::Battery::AdaptiveCrash);
+        } else {
+          std::cerr << "unknown battery: " << b << "\n";
+          return 2;
+        }
+      }
+    } else if (arg == "--threads") {
+      const auto parsed = parse_u64(*value);
+      if (!parsed || *parsed > 1024) {
+        std::cerr << "bad --threads value: " << *value << " (expected 0..1024)\n";
+        return 2;
+      }
+      opts.threads = static_cast<unsigned>(*parsed);
+    } else {
+      std::cerr << "unknown sweep argument: " << arg << " (try --help)\n";
+      return 2;
+    }
+  }
+  grid.seeds.clear();
+  for (std::uint64_t s = 1; s <= num_seeds; ++s) grid.seeds.push_back(s);
+
+  const auto results = core::run_sweep(grid.cells(), opts);
+
+  bool all_ok = true;
+  std::size_t ran = 0;
+  std::cout << "{\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& cell = results[i];
+    const auto& cfg = cell.scenario.config;
+    std::cout << "    {\"topology\": \"" << json_escape(net::to_string(cfg.topology))
+              << "\", \"auth\": " << (cfg.authenticated ? "true" : "false")
+              << ", \"k\": " << cfg.k << ", \"tl\": " << cfg.tl << ", \"tr\": " << cfg.tr
+              << ", \"input_seed\": " << cell.scenario.input_seed
+              << ", \"adversaries\": " << cell.scenario.adversaries.size()
+              << ", \"solvable\": " << (cell.solvable ? "true" : "false");
+    if (cell.outcome.has_value()) {
+      ++ran;
+      const auto& out = *cell.outcome;
+      all_ok &= out.report.all();
+      std::cout << ", \"protocol\": \"" << json_escape(out.spec.describe())
+                << "\", \"rounds\": " << out.rounds << ", \"messages\": " << out.traffic.messages
+                << ", \"bytes\": " << out.traffic.bytes << ", \"properties\": {\"termination\": "
+                << (out.report.termination ? "true" : "false")
+                << ", \"symmetry\": " << (out.report.symmetry ? "true" : "false")
+                << ", \"stability\": " << (out.report.stability ? "true" : "false")
+                << ", \"non_competition\": " << (out.report.non_competition ? "true" : "false")
+                << "}, \"all_properties\": " << (out.report.all() ? "true" : "false");
+    }
+    std::cout << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n  \"total_cells\": " << results.size() << ",\n  \"ran\": " << ran
+            << ",\n  \"all_properties_held\": " << (all_ok ? "true" : "false") << "\n}\n";
+  return all_ok ? 0 : 1;
 }
 
 struct Options {
@@ -127,6 +313,7 @@ struct Options {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "sweep") return run_sweep_command(argc, argv);
   const auto parsed = parse(argc, argv);
   if (!parsed) return 2;
   const Options& opt = *parsed;
