@@ -1,212 +1,12 @@
-// E9 — ablations of two design choices DESIGN.md calls out.
-//
-// (A) General-adversary quorums (Lemma 4 / Fitzi-Maurer) vs. a naive
-//     threshold t = tL + tR over all n parties. In the paper's region
-//     "tL < k/3 or tR < k/3" the total corruption can reach n/3 and beyond,
-//     where plain phase-king breaks: a split-brain battery divides the
-//     honest parties while the product-structure quorums hold agreement.
-//
-// (B) Pi_bSM's "most common suggestion" rule at the R side vs. trusting
-//     the first suggestion received: one lying A party defeats the naive
-//     policy (non-competition breaks), while the paper's rule survives
-//     tL < k/3 liars.
-//
-// Both ablations run their trial batteries through run_cells(), the sweep
-// layer's deterministic parallel map (the cells here are raw engine
-// experiments, not bSM ScenarioSpecs).
-#include <iostream>
-#include <set>
+// E9 — ablations of two design choices: (A) general-adversary product
+// quorums vs a naive total threshold under split-brain batteries beyond
+// n/3, and (B) Pi_bSM's most-common-suggestion rule vs trusting the first
+// suggestion. ok iff the paper's choice survives where the naive one
+// demonstrably breaks. Case logic: bench/cases/cases_sweeps.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "adversary/shims.hpp"
-#include "adversary/strategies.hpp"
-#include "broadcast/phase_king.hpp"
-#include "broadcast/quorums.hpp"
-#include "common/codec.hpp"
-#include "common/table.hpp"
-#include "core/pi_bsm.hpp"
-#include "core/sweep.hpp"
-#include "matching/generators.hpp"
-#include "net/engine.hpp"
-
-namespace {
-
-using namespace bsm;
-
-/// Hosts one PhaseKingBA instance (ablation A helper).
-class Host final : public net::Process {
- public:
-  Host(std::vector<PartyId> parts, std::unique_ptr<broadcast::Instance> inst)
-      : hub_(net::RelayMode::Direct, 1) {
-    hub_.add_instance(0, 0, std::move(parts), std::move(inst));
-  }
-  void on_round(net::Context& ctx, net::Inbox inbox) override {
-    hub_.ingest(ctx, inbox);
-    hub_.step_due(ctx);
-  }
-  [[nodiscard]] const broadcast::Instance& instance() const { return hub_.instance(0); }
-
- private:
-  broadcast::InstanceHub hub_;
-};
-
-/// Run agreement over all 2k parties with `byz` split-brain equivocators;
-/// returns true iff all honest outputs agree.
-bool agreement_holds(std::uint32_t k, const std::vector<PartyId>& byz,
-                     const std::shared_ptr<const broadcast::Quorums>& q, std::uint64_t seed) {
-  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, k), seed);
-  std::vector<PartyId> parts;
-  for (PartyId id = 0; id < 2 * k; ++id) parts.push_back(id);
-  const std::set<PartyId> byz_set(byz.begin(), byz.end());
-  for (PartyId id = 0; id < 2 * k; ++id) {
-    const Bytes input{static_cast<std::uint8_t>(id % 2 ? 1 : 2)};
-    if (byz_set.contains(id)) {
-      auto conspirators = byz_set;
-      engine.set_corrupt(
-          id, std::make_unique<adversary::SplitBrain>(
-                  std::make_unique<Host>(parts, std::make_unique<broadcast::PhaseKingBA>(
-                                                    Bytes{7}, q)),
-                  std::make_unique<Host>(parts, std::make_unique<broadcast::PhaseKingBA>(
-                                                    Bytes{8}, q)),
-                  [](PartyId p) { return static_cast<int>(p % 2); }, conspirators));
-    } else {
-      engine.set_process(
-          id, std::make_unique<Host>(parts, std::make_unique<broadcast::PhaseKingBA>(input, q)));
-    }
-  }
-  const std::uint32_t steps = 3 * q->num_phases();
-  engine.run(steps + 2);
-  std::set<Bytes> outputs;
-  for (PartyId id = 0; id < 2 * k; ++id) {
-    if (byz_set.contains(id)) continue;
-    const auto& inst = dynamic_cast<Host&>(engine.process(id)).instance();
-    if (!inst.done() || !inst.output().has_value()) return false;
-    outputs.insert(*inst.output());
-  }
-  return outputs.size() <= 1;
-}
-
-/// One ablation-A trial: in-region corruption pattern at size k, judged
-/// under product-structure or naive-threshold quorums.
-struct QuorumCell {
-  std::uint32_t k = 0;
-  bool product = true;
-  std::uint64_t seed = 0;
-};
-
-/// Byzantine A party that immediately sends every B party a forged
-/// suggestion "match me" (ablation B helper).
-class SuggestionForger final : public net::Process {
- public:
-  explicit SuggestionForger(std::uint32_t k) : k_(k) {}
-  void on_round(net::Context& ctx, net::Inbox) override {
-    if (ctx.round() != 0) return;
-    for (PartyId b = k_; b < 2 * k_; ++b) {
-      Writer inner;
-      inner.u32(ctx.self());  // "your match is me"
-      Writer frame;
-      frame.u32(core::pi_bsm_suggest_channel(k_));
-      frame.bytes(inner.data());
-      Writer direct;
-      direct.u8(0);  // relay Direct tag
-      direct.bytes(frame.data());
-      ctx.send(b, direct.data());
-    }
-  }
-
- private:
-  std::uint32_t k_;
-};
-
-/// One ablation-B trial: run Pi_bSM with the given R-side suggestion policy
-/// against one forging A party; returns the property report.
-core::PropertyReport forger_report(const core::SuggestionPolicy& policy) {
-  const std::uint32_t k = 4;
-  const core::BsmConfig cfg{net::TopologyKind::Bipartite, true, k, 1, 4};
-  const auto proto = *core::resolve_protocol(cfg);
-  const auto inputs = matching::random_profile(k, 3);
-  net::Engine engine(net::Topology(cfg.topology, k), 1);
-  for (PartyId id = 0; id < 2 * k; ++id) {
-    if (side_of(id, k) == Side::Left) {
-      engine.set_process(id, core::make_bsm_process(cfg, proto, id, inputs.list(id)));
-    } else {
-      engine.set_process(id, std::make_unique<core::PiBsmOther>(cfg, Side::Left, id,
-                                                                inputs.list(id), policy));
-    }
-  }
-  engine.set_corrupt(0, std::make_unique<SuggestionForger>(k));
-  engine.run(proto.total_rounds + 2);
-
-  std::vector<std::optional<PartyId>> decisions(2 * k);
-  for (PartyId id = 0; id < 2 * k; ++id) {
-    if (engine.is_corrupt(id)) continue;
-    const auto& p = engine.process_as<core::BsmProcess>(id);
-    if (p.decided()) decisions[id] = p.decision();
-  }
-  return core::check_bsm(k, engine.corrupt_mask(), inputs, decisions);
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "E9(A): product-structure quorums vs naive total threshold\n\n";
-  const int trials = 5;
-  std::vector<QuorumCell> quorum_cells;
-  for (const std::uint32_t k : {4U, 6U}) {
-    for (const bool product : {true, false}) {
-      for (int s = 0; s < trials; ++s) {
-        quorum_cells.push_back({k, product, 10ULL + static_cast<std::uint64_t>(s)});
-      }
-    }
-  }
-  const auto quorum_results = core::run_cells(quorum_cells, [](const QuorumCell& cell) {
-    // Corrupt 1 left + (k-1) right: in-region (tL < k/3) but far beyond n/3.
-    std::vector<PartyId> byz{1};
-    for (std::uint32_t i = 0; i + 1 < cell.k; ++i) byz.push_back(cell.k + i);
-    const std::uint32_t tl = 1;
-    const std::uint32_t tr = cell.k - 1;
-    const std::shared_ptr<const broadcast::Quorums> q =
-        cell.product ? std::shared_ptr<const broadcast::Quorums>(
-                           std::make_shared<const broadcast::ProductQuorums>(cell.k, tl, tr))
-                     : std::make_shared<const broadcast::ThresholdQuorums>(2 * cell.k, tl + tr);
-    return static_cast<int>(agreement_holds(cell.k, byz, q, cell.seed));
-  });
-
-  Table a({"k", "tL", "tR", "adversary", "product quorums", "naive threshold"});
-  bool ablation_a_shows_gap = false;
-  for (std::size_t base = 0; base < quorum_cells.size(); base += 2 * trials) {
-    const std::uint32_t k = quorum_cells[base].k;
-    int product_ok = 0;
-    int naive_ok = 0;
-    for (int s = 0; s < trials; ++s) {
-      product_ok += quorum_results[base + s];
-      naive_ok += quorum_results[base + trials + s];
-    }
-    a.add_row({std::to_string(k), "1", std::to_string(k - 1),
-               "split-brain x" + std::to_string(k),
-               std::to_string(product_ok) + "/" + std::to_string(trials),
-               std::to_string(naive_ok) + "/" + std::to_string(trials)});
-    ablation_a_shows_gap |= product_ok == trials && naive_ok < trials;
-  }
-  std::cout << a.render() << "\n";
-
-  std::cout << "E9(B): Pi_bSM suggestion policy at R under a lying A party\n\n";
-  const std::vector<core::SuggestionPolicy> policies{core::SuggestionPolicy::MostCommon,
-                                                     core::SuggestionPolicy::FirstReceived};
-  const auto policy_results = core::run_cells(policies, forger_report);
-
-  Table b({"policy", "k", "lying A parties", "all properties hold"});
-  for (std::size_t i = 0; i < policies.size(); ++i) {
-    const auto& rep = policy_results[i];
-    b.add_row({policies[i] == core::SuggestionPolicy::MostCommon ? "most common (paper)"
-                                                                 : "first received (naive)",
-               "4", "1", rep.all() ? "yes" : "NO: " + rep.summary()});
-  }
-  const bool ablation_b_shows_gap = policy_results[0].all() && !policy_results[1].all();
-  std::cout << b.render() << "\n";
-
-  std::cout << "Ablation A (general-adversary quorums needed): "
-            << (ablation_a_shows_gap ? "GAP CONFIRMED" : "no gap observed") << "\n";
-  std::cout << "Ablation B (suggestion majority needed): "
-            << (ablation_b_shows_gap ? "GAP CONFIRMED" : "no gap observed") << "\n";
-  return ablation_a_shows_gap && ablation_b_shows_gap ? 0 : 1;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_ablation();
+  return bsm::core::bench_main(argc, argv);
 }

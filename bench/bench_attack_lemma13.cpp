@@ -1,66 +1,12 @@
-// E5 — Lemma 13 / Figure 4: one-sided authenticated network, tR = k = 3,
-// tL = 1 >= k/3.
-//
-// All of R plus b are byzantine; they simulate two copies of themselves and
-// route a's traffic into one copy and c's into the other. v's copies
-// favour a and c respectively. The proof's two crash scenarios pin down
-// what a and c must do (match v); indistinguishability then forces the
-// same outputs in the attack, colliding on v. We check all three pieces:
-// the baselines' decisions, byte-exact view-hash indistinguishability, and
-// the non-competition violation — plus the tL = 0 twin where Pi_bSM's
-// omission tolerance keeps every property (Theorem 7's positive side).
-#include <iostream>
+// E5 — Lemma 13 / Figure 4: one-sided authenticated, tR = k = 3,
+// tL = 1 >= k/3. Checks all three pieces of the proof: byte-exact
+// view-hash indistinguishability from the crash baselines, the forced
+// non-competition collision on v, and the tL = 0 twin where Pi_bSM keeps
+// every property. Case logic: bench/cases/cases_attacks.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "adversary/attacks.hpp"
-#include "core/oracle.hpp"
-#include "common/hash.hpp"
-#include "common/table.hpp"
-
-int main() {
-  using namespace bsm;
-  auto art1 = adversary::build_lemma13();
-  auto art2 = adversary::build_lemma13();
-  auto art3 = adversary::build_lemma13();
-  auto art4 = adversary::build_lemma13();
-  std::cout << "E5: Lemma 13 attack — " << art1.attack.config.describe() << "\n";
-  std::cout << core::solvability_reason(art1.attack.config) << "\n\n";
-
-  const auto attack = core::run_bsm(std::move(art1.attack));
-  const auto base_a = core::run_bsm(std::move(art2.baseline_a));
-  const auto base_c = core::run_bsm(std::move(art3.baseline_c));
-
-  Table table({"run", "a's view hash", "a decides", "c's view hash", "c decides"});
-  auto show = [&](const char* name, const core::RunOutcome& out) {
-    auto decision = [&](PartyId p) -> std::string {
-      if (out.corrupt[p]) return "(byz)";
-      if (!out.decisions[p].has_value()) return "-";
-      return *out.decisions[p] == kNobody ? "nobody" : "P" + std::to_string(*out.decisions[p]);
-    };
-    table.add_row({name, to_hex(out.view_hashes[0]), decision(0), to_hex(out.view_hashes[2]),
-                   decision(2)});
-  };
-  show("attack (b,R byz)", attack);
-  show("baseline: c crashed", base_a);
-  show("baseline: a crashed", base_c);
-  std::cout << table.render() << "\n";
-
-  const bool indist_a = attack.view_hashes[0] == base_a.view_hashes[0];
-  const bool indist_c = attack.view_hashes[2] == base_c.view_hashes[2];
-  std::cout << "a cannot distinguish attack from its baseline: " << (indist_a ? "YES" : "no")
-            << "\n";
-  std::cout << "c cannot distinguish attack from its baseline: " << (indist_c ? "YES" : "no")
-            << "\n";
-  std::cout << "Attack properties: " << attack.report.summary() << "\n";
-  for (const auto& v : attack.report.violations) std::cout << "  - " << v << "\n";
-
-  auto in_region = core::run_bsm(std::move(art4.in_region));
-  std::cout << "\nTwin run inside the solvable region (tL = 0, tR = k): "
-            << (in_region.report.all() ? "all properties hold" : "VIOLATION (unexpected)")
-            << "\n";
-
-  const bool reproduced = indist_a && indist_c && !attack.report.non_competition &&
-                          in_region.report.all();
-  std::cout << "Lemma 13 reproduced (indistinguishability + violation + boundary): "
-            << (reproduced ? "YES" : "NO") << "\n";
-  return reproduced ? 0 : 1;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_attack_lemma13();
+  return bsm::core::bench_main(argc, argv);
 }

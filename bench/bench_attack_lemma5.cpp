@@ -1,52 +1,12 @@
-// E3 — Lemma 5 / Figure 2: fully-connected unauthenticated network, k = 3,
-// tL = tR = 1 (both sides at the k/3 boundary, Q3 fails).
-//
-// The byzantine pair {b, v} jointly simulates a duplicated 12-node system:
-// honest {a, u} live in world 0 where v claims to favour a, honest {c, w}
-// in world 1 where v favours c. Both worlds are internally consistent, so
-// agreement on v's preference list splits and a and c collide on v —
-// breaking non-competition, exactly as the proof predicts. The twin run
-// with one corruption fewer (tL = 0) is immune.
-#include <iostream>
+// E3 — Lemma 5 / Figure 2: fully-connected unauthenticated, k = 3,
+// tL = tR = 1 (Q3 fails). The byzantine pair splits the honest parties
+// into two consistent worlds and forces a non-competition violation; the
+// in-region twin (tL = 0) is immune. ok iff both halves of the boundary
+// reproduce. Case logic: bench/cases/cases_attacks.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "adversary/attacks.hpp"
-#include "core/oracle.hpp"
-#include "common/hash.hpp"
-#include "common/table.hpp"
-
-int main() {
-  using namespace bsm;
-  auto art = adversary::build_lemma5();
-  std::cout << "E3: Lemma 5 attack — " << art.attack.config.describe() << "\n";
-  std::cout << core::solvability_reason(art.attack.config) << "\n\n";
-
-  const auto attack = core::run_bsm(std::move(art.attack));
-  Table table({"party", "role", "decision"});
-  for (PartyId id = 0; id < 6; ++id) {
-    std::string decision = "-";
-    if (!attack.corrupt[id] && attack.decisions[id].has_value()) {
-      decision = *attack.decisions[id] == kNobody ? "nobody"
-                                                  : "P" + std::to_string(*attack.decisions[id]);
-    }
-    table.add_row({"P" + std::to_string(id), attack.corrupt[id] ? "byzantine" : "honest",
-                   decision});
-  }
-  std::cout << table.render() << "\n";
-  std::cout << "Properties: " << attack.report.summary() << "\n";
-  for (const auto& v : attack.report.violations) std::cout << "  - " << v << "\n";
-
-  const bool collided = attack.decisions[art.a] == attack.decisions[art.c] &&
-                        attack.decisions[art.a].has_value() &&
-                        *attack.decisions[art.a] == art.v;
-  std::cout << "\nHonest a and c both matched byzantine v: " << (collided ? "YES" : "no")
-            << "\n";
-
-  auto in_region = core::run_bsm(std::move(art.in_region));
-  std::cout << "Twin run inside the solvable region (tL = 0, tR = 1): "
-            << (in_region.report.all() ? "all properties hold" : "VIOLATION (unexpected)")
-            << "\n";
-
-  const bool reproduced = !attack.report.non_competition && in_region.report.all();
-  std::cout << "Lemma 5 boundary reproduced: " << (reproduced ? "YES" : "NO") << "\n";
-  return reproduced ? 0 : 1;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_attack_lemma5();
+  return bsm::core::bench_main(argc, argv);
 }

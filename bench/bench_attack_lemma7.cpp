@@ -1,45 +1,12 @@
-// E4 — Lemma 7 / Figure 3: one-sided unauthenticated network, k = 2,
-// tL = 0, tR = 1 (tR >= k/2: the disconnected side has no honest relay
-// majority).
-//
-// The proof folds the bipartite network into the cycle a-c-b-d-a and lets
-// the byzantine d cut it into two arcs. Operationally: d refuses to relay
-// between a and b and split-brains its own preferences, so a and b agree
-// with c on different views and collide. The twin run at k = 3 (tR < k/2)
-// with the very same adversary is harmless — two honest relays out-vote d.
-#include <iostream>
+// E4 — Lemma 7 / Figure 3: one-sided unauthenticated, k = 2, tL = 0,
+// tR = 1 >= k/2. Byzantine d cuts the relay cycle and split-brains its
+// preferences; the k = 3 twin with the same adversary is harmless. ok iff
+// both halves of the boundary reproduce. Case logic:
+// bench/cases/cases_attacks.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "adversary/attacks.hpp"
-#include "core/oracle.hpp"
-#include "common/table.hpp"
-
-int main() {
-  using namespace bsm;
-  auto art = adversary::build_lemma7();
-  std::cout << "E4: Lemma 7 attack — " << art.attack.config.describe() << "\n";
-  std::cout << core::solvability_reason(art.attack.config) << "\n\n";
-
-  const auto attack = core::run_bsm(std::move(art.attack));
-  Table table({"party", "role", "decision"});
-  for (PartyId id = 0; id < 4; ++id) {
-    std::string decision = "-";
-    if (!attack.corrupt[id] && attack.decisions[id].has_value()) {
-      decision = *attack.decisions[id] == kNobody ? "nobody"
-                                                  : "P" + std::to_string(*attack.decisions[id]);
-    }
-    table.add_row({"P" + std::to_string(id), attack.corrupt[id] ? "byzantine" : "honest",
-                   decision});
-  }
-  std::cout << table.render() << "\n";
-  std::cout << "Properties: " << attack.report.summary() << "\n";
-  for (const auto& v : attack.report.violations) std::cout << "  - " << v << "\n";
-
-  auto in_region = core::run_bsm(std::move(art.in_region));
-  std::cout << "\nTwin run inside the solvable region (k = 3, tR = 1 < k/2): "
-            << (in_region.report.all() ? "all properties hold" : "VIOLATION (unexpected)")
-            << "\n";
-
-  const bool reproduced = !attack.report.all() && in_region.report.all();
-  std::cout << "Lemma 7 boundary reproduced: " << (reproduced ? "YES" : "NO") << "\n";
-  return reproduced ? 0 : 1;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_attack_lemma7();
+  return bsm::core::bench_main(argc, argv);
 }

@@ -1,145 +1,12 @@
-// E7 — costs of the broadcast/agreement building blocks: rounds to
-// decision (validated against the closed forms the paper states) and
-// physical message counts, as k and the corruption budget grow.
-//
-//   Dolev-Strong BB:        t + 1 protocol rounds
-//   Pi_King (phase-king):   3 (t + 1)
-//   Pi_BA:                  3 (t + 1) + 1
-//   Pi_BB:                  3 (t + 1) + 2
-//   product phase-king BA:  3 (tL + tR + 1)
-#include <functional>
-#include <iostream>
+// E7 — costs of the broadcast/agreement building blocks; measured
+// rounds-to-decision are validated against the closed forms the paper
+// states (Dolev-Strong t+1, Pi_King 3(t+1), Pi_BA 3(t+1)+1, Pi_BB
+// 3(t+1)+2, product phase-king 3 phases each). Case logic:
+// bench/cases/cases_protocols.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "adversary/strategies.hpp"
-#include "broadcast/bb_via_ba.hpp"
-#include "broadcast/dolev_strong.hpp"
-#include "broadcast/instance.hpp"
-#include "broadcast/omission_ba.hpp"
-#include "broadcast/phase_king.hpp"
-#include "broadcast/quorums.hpp"
-#include "common/table.hpp"
-#include "net/engine.hpp"
-
-namespace {
-
-using namespace bsm;
-using namespace bsm::broadcast;
-
-/// Hosts a single instance and remembers the engine round it decided in.
-class Host final : public net::Process {
- public:
-  Host(std::vector<PartyId> participants, std::unique_ptr<Instance> instance)
-      : hub_(net::RelayMode::Direct, 1) {
-    hub_.add_instance(0, 0, std::move(participants), std::move(instance));
-  }
-  void on_round(net::Context& ctx, net::Inbox inbox) override {
-    hub_.ingest(ctx, inbox);
-    hub_.step_due(ctx);
-    if (decided_round_ == 0 && hub_.instance(0).done()) decided_round_ = ctx.round() + 1;
-  }
-  Round decided_round_ = 0;
-
- private:
-  InstanceHub hub_;
-};
-
-struct Cost {
-  Round rounds = 0;
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-};
-
-Cost measure(std::uint32_t n_parties,
-             const std::function<std::unique_ptr<Instance>(PartyId)>& factory,
-             std::uint32_t max_steps) {
-  const std::uint32_t k = (n_parties + 1) / 2;
-  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, k), 1);
-  std::vector<PartyId> parts;
-  for (PartyId id = 0; id < n_parties; ++id) parts.push_back(id);
-  for (PartyId id = 0; id < 2 * k; ++id) {
-    if (id < n_parties) {
-      engine.set_process(id, std::make_unique<Host>(parts, factory(id)));
-    } else {
-      engine.set_process(id, std::make_unique<adversary::Silent>());  // filler id, unused
-    }
-  }
-  engine.run(max_steps + 2);
-  Cost cost;
-  cost.rounds = dynamic_cast<Host&>(engine.process(0)).decided_round_ - 1;
-  cost.messages = engine.stats().messages;
-  cost.bytes = engine.stats().bytes;
-  return cost;
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "E7: broadcast building-block costs (fault-free runs; rounds are\n"
-               "validated against the protocols' closed-form running times)\n\n";
-  Table table({"protocol", "parties", "t", "rounds", "expected", "messages", "bytes"});
-  bool rounds_match = true;
-  const Bytes value{1, 2, 3, 4};
-
-  for (const std::uint32_t n : {4U, 7U, 10U, 13U}) {
-    const std::uint32_t t = (n - 1) / 3;
-    auto q = std::make_shared<const ThresholdQuorums>(n, t);
-
-    const auto ds = measure(
-        n, [&](PartyId id) { return std::make_unique<DolevStrong>(0, t, id == 0 ? value : Bytes{}); },
-        t + 1);
-    rounds_match &= ds.rounds == t + 1;
-    table.add_row({"Dolev-Strong BB", std::to_string(n), std::to_string(t),
-                   std::to_string(ds.rounds), std::to_string(t + 1), std::to_string(ds.messages),
-                   std::to_string(ds.bytes)});
-
-    const auto pk = measure(
-        n, [&](PartyId) { return std::make_unique<PhaseKingBA>(value, q); }, 3 * (t + 1));
-    rounds_match &= pk.rounds == 3 * (t + 1);
-    table.add_row({"Pi_King (phase king)", std::to_string(n), std::to_string(t),
-                   std::to_string(pk.rounds), std::to_string(3 * (t + 1)),
-                   std::to_string(pk.messages), std::to_string(pk.bytes)});
-
-    const auto ba = measure(
-        n, [&](PartyId) { return std::make_unique<OmissionBA>(value, q); }, 3 * (t + 1) + 1);
-    rounds_match &= ba.rounds == 3 * (t + 1) + 1;
-    table.add_row({"Pi_BA", std::to_string(n), std::to_string(t), std::to_string(ba.rounds),
-                   std::to_string(3 * (t + 1) + 1), std::to_string(ba.messages),
-                   std::to_string(ba.bytes)});
-
-    const std::uint32_t ba_dur = 3 * (t + 1) + 1;
-    const auto bb = measure(
-        n,
-        [&](PartyId id) {
-          return std::make_unique<BBviaBA>(0, id == 0 ? value : Bytes{}, Bytes{}, ba_dur,
-                                           [q](Bytes in) -> std::unique_ptr<Instance> {
-                                             return std::make_unique<OmissionBA>(std::move(in), q);
-                                           });
-        },
-        1 + ba_dur);
-    rounds_match &= bb.rounds == 1 + ba_dur;
-    table.add_row({"Pi_BB", std::to_string(n), std::to_string(t), std::to_string(bb.rounds),
-                   std::to_string(1 + ba_dur), std::to_string(bb.messages),
-                   std::to_string(bb.bytes)});
-  }
-
-  // Product-structure phase-king over both sides (Lemma 4's BB engine).
-  for (const std::uint32_t k : {3U, 4U, 6U}) {
-    const std::uint32_t tl = (k - 1) / 3;
-    const std::uint32_t tr = k / 2;
-    auto q = std::make_shared<const ProductQuorums>(k, tl, tr);
-    const std::uint32_t dur = 3 * q->num_phases();
-    const auto pr =
-        measure(2 * k, [&](PartyId) { return std::make_unique<PhaseKingBA>(value, q); }, dur);
-    rounds_match &= pr.rounds == dur;
-    table.add_row({"product phase-king BA", std::to_string(2 * k),
-                   std::to_string(tl) + "+" + std::to_string(tr), std::to_string(pr.rounds),
-                   std::to_string(dur), std::to_string(pr.messages), std::to_string(pr.bytes)});
-  }
-
-  std::cout << table.render() << "\n";
-  std::cout << "All measured round counts equal the closed forms: "
-            << (rounds_match ? "YES" : "NO") << "\n";
-  std::cout << "Expected shape: rounds grow linearly in t (Dolev-Strong) and 3 t\n"
-               "(phase-king family); messages grow as parties^2 per round.\n";
-  return rounds_match ? 0 : 1;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_broadcast_protocols();
+  return bsm::core::bench_main(argc, argv);
 }

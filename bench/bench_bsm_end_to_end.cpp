@@ -1,74 +1,12 @@
-// E8 — end-to-end cost of the bSM constructions: simulated time (rounds),
-// physical messages, bytes, and wall-clock per full run, as k grows, for
-// every construction the factory can select — including Pi_bSM's worst
-// case with a fully byzantine opposite side.
-#include <chrono>
-#include <iostream>
+// E8 — end-to-end cost of the bSM constructions: rounds, messages,
+// bytes, and wall-clock per full run as k grows, one case per
+// construction the factory can select — including Pi_bSM's worst case
+// with a fully byzantine opposite side. Case logic:
+// bench/cases/cases_protocols.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "adversary/strategies.hpp"
-#include "common/table.hpp"
-#include "core/oracle.hpp"
-#include "core/runner.hpp"
-#include "matching/generators.hpp"
-
-namespace {
-
-using namespace bsm;
-using net::TopologyKind;
-
-struct Row {
-  std::string name;
-  core::BsmConfig cfg;
-  std::uint32_t silent_l = 0;
-  std::uint32_t silent_r = 0;
-};
-
-}  // namespace
-
-int main() {
-  std::cout << "E8: end-to-end bSM cost per construction\n\n";
-  Table table({"construction", "setting", "k", "rounds", "messages", "bytes", "wall ms"});
-
-  for (const std::uint32_t k : {3U, 5U, 8U}) {
-    const std::uint32_t third = (k - 1) / 3;
-    std::vector<Row> rows = {
-        {"BTM[Dolev-Strong]", {TopologyKind::FullyConnected, true, k, k / 2, k / 2}, 1, 1},
-        {"BTM[DS + signed relay]", {TopologyKind::Bipartite, true, k, k - 1, k - 1}, 1, 1},
-        {"BTM[product phase-king]", {TopologyKind::FullyConnected, false, k, third, third}, 0, 1},
-        {"BTM[product + majority relay]",
-         {TopologyKind::OneSided, false, k, third, (k - 1) / 2},
-         0,
-         1},
-        {"Pi_bSM (tR = k, all R silent)", {TopologyKind::Bipartite, true, k, third, k}, 0, k},
-    };
-    for (auto& row : rows) {
-      if (!core::solvable(row.cfg)) continue;
-      core::RunSpec spec;
-      spec.config = row.cfg;
-      spec.inputs = matching::random_profile(k, k * 7 + 1);
-      for (std::uint32_t i = 0; i < row.silent_l && i < row.cfg.tl; ++i) {
-        spec.adversaries.push_back({i, 0, std::make_unique<adversary::Silent>()});
-      }
-      for (std::uint32_t i = 0; i < row.silent_r && i < row.cfg.tr + 1; ++i) {
-        if (i < row.cfg.tr) {
-          spec.adversaries.push_back({k + i, 0, std::make_unique<adversary::Silent>()});
-        }
-      }
-      const auto start = std::chrono::steady_clock::now();
-      const auto out = core::run_bsm(std::move(spec));
-      const auto elapsed = std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start);
-      table.add_row({row.name, row.cfg.describe(), std::to_string(k),
-                     std::to_string(out.rounds), std::to_string(out.traffic.messages),
-                     std::to_string(out.traffic.bytes),
-                     std::to_string(elapsed.count()).substr(0, 6) +
-                         (out.report.all() ? "" : "  [PROPERTY VIOLATION]")});
-    }
-  }
-  std::cout << table.render() << "\n";
-  std::cout << "Expected shape: rounds depend only on the corruption budget (not k);\n"
-               "messages grow ~ (2k)^2 per round for broadcast-everything constructions\n"
-               "and relayed variants pay an extra factor k; Pi_bSM's running time is the\n"
-               "constant max(Delta_BA(2D)+D, Delta_BB(2D)) + D of Section 5.2.\n";
-  return 0;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_bsm_end_to_end();
+  return bsm::core::bench_main(argc, argv);
 }

@@ -1,106 +1,12 @@
 // E2 — Figure 1's topologies, quantified: what the virtual-channel
-// simulations (Lemmas 6/8/10) cost in latency and messages.
-//
-// One L party sends a payload to another L party across each topology and
-// relay mode; we measure delivery latency in rounds and physical messages
-// per virtual send, under increasing numbers of corrupt relays.
-#include <iostream>
+// simulations (Lemmas 6/8/10) cost in latency and messages, per relay
+// mode, under increasing numbers of corrupt relays. ok iff delivery obeys
+// each mode's relay threshold and always takes exactly 2 Delta. Case
+// logic: bench/cases/cases_protocols.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "adversary/strategies.hpp"
-#include "common/table.hpp"
-#include "net/engine.hpp"
-#include "net/relay.hpp"
-
-namespace {
-
-using namespace bsm;
-using namespace bsm::net;
-
-class Sender final : public Process {
- public:
-  Sender(RelayMode mode, PartyId to) : router_(mode), to_(to) {}
-  void on_round(Context& ctx, Inbox inbox) override {
-    (void)router_.route(ctx, inbox);
-    if (ctx.round() == 0) router_.send(ctx, to_, Bytes{1, 2, 3, 4});
-  }
-
- private:
-  RelayRouter router_;
-  PartyId to_;
-};
-
-class Receiver final : public Process {
- public:
-  explicit Receiver(RelayMode mode) : router_(mode) {}
-  void on_round(Context& ctx, Inbox inbox) override {
-    for (auto& msg : router_.route(ctx, inbox)) {
-      (void)msg;
-      if (delivered_round_ == 0) delivered_round_ = ctx.round();
-    }
-  }
-  Round delivered_round_ = 0;
-
- private:
-  RelayRouter router_;
-};
-
-class Forwarder final : public Process {
- public:
-  explicit Forwarder(RelayMode mode) : router_(mode) {}
-  void on_round(Context& ctx, Inbox inbox) override {
-    (void)router_.route(ctx, inbox);
-  }
-
- private:
-  RelayRouter router_;
-};
-
-struct Result {
-  bool delivered = false;
-  Round latency = 0;
-  std::uint64_t messages = 0;
-};
-
-Result measure(RelayMode mode, std::uint32_t k, std::uint32_t corrupt_relays) {
-  Engine engine(Topology(TopologyKind::OneSided, k), 1);
-  engine.set_process(0, std::make_unique<Sender>(mode, 1));
-  engine.set_process(1, std::make_unique<Receiver>(mode));
-  for (PartyId id = 2; id < k; ++id) engine.set_process(id, std::make_unique<adversary::Silent>());
-  for (PartyId r = k; r < 2 * k; ++r) {
-    if (r - k < corrupt_relays) {
-      engine.set_corrupt(r, std::make_unique<adversary::Silent>());
-    } else {
-      engine.set_process(r, std::make_unique<Forwarder>(mode));
-    }
-  }
-  engine.run(6);
-  const auto& recv = dynamic_cast<Receiver&>(engine.process(1));
-  return Result{recv.delivered_round_ != 0, recv.delivered_round_, engine.stats().messages};
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "E2: virtual channel simulation (L -> L via relays on R)\n\n";
-  Table table({"mode", "k", "corrupt relays", "delivered", "latency (Delta)", "phys. messages"});
-  for (const auto [mode, name] :
-       {std::pair{RelayMode::UnauthMajority, "majority (Lemma 6)"},
-        std::pair{RelayMode::AuthSigned, "signed (Lemma 8)"},
-        std::pair{RelayMode::AuthTimed, "timed signed (Lemma 10)"}}) {
-    for (const std::uint32_t k : {3U, 5U, 9U}) {
-      for (std::uint32_t corrupt = 0; corrupt <= k; corrupt += (k + 1) / 2) {
-        const std::uint32_t c = std::min(corrupt, k);
-        const Result r = measure(mode, k, c);
-        table.add_row({name, std::to_string(k), std::to_string(c), r.delivered ? "yes" : "no",
-                       r.delivered ? std::to_string(r.latency) : "-",
-                       std::to_string(r.messages)});
-      }
-    }
-  }
-  std::cout << table.render() << "\n";
-  std::cout << "Expected shape (paper): delivery always takes exactly 2 Delta; majority\n"
-               "relaying survives < k/2 corrupt relays, signed relaying survives < k, and\n"
-               "message cost per virtual send grows linearly in k (one relay request per\n"
-               "opposite-side party plus forwards).\n";
-  return 0;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_channel_simulation();
+  return bsm::core::bench_main(argc, argv);
 }

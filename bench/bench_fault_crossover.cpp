@@ -1,90 +1,12 @@
-// E10 — empirical threshold crossover, the "figure" version of Theorems 4
-// and 7: fix the one-sided topology and sweep the number of actually
-// corrupted R parties (the relays the disconnected side depends on).
-//
-// Unauthenticated, majority relays: properties must hold while corrupt
-// relays < k/2 and collapse beyond (Theorem 4's tR < k/2 bound).
-// Authenticated, Pi_bSM: properties must hold all the way to tR = k
-// (Theorem 7) — beyond the unauthenticated crossover, the honest side
-// degrades gracefully to "match nobody" instead of breaking.
-//
-// Every (construction, corrupted-relay count, trial) point is one
-// ScenarioSpec cell; the whole figure is a single run_sweep() call.
-#include <iostream>
+// E10 — empirical threshold crossover, the figure version of Theorems 4
+// and 7: one-sided topology, sweeping the number of corrupted relays.
+// Unauthenticated majority relaying must hold strictly below k/2;
+// authenticated Pi_bSM must hold all the way to tR = k. Case logic:
+// bench/cases/cases_sweeps.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "common/table.hpp"
-#include "core/sweep.hpp"
-
-namespace {
-
-using namespace bsm;
-using net::TopologyKind;
-
-/// One scenario cell: `corrupt_r` relays run the split-brain relay attack
-/// against the (forced) construction, with trial-specific workload seeds.
-core::ScenarioSpec crossover_cell(const core::BsmConfig& cfg, const core::ProtocolSpec& proto,
-                                  std::uint32_t corrupt_r, int trial) {
-  core::ScenarioSpec cell;
-  cell.config = cfg;
-  cell.input_seed = 100 + trial;
-  cell.pki_seed = trial + 1;
-  cell.forced_spec = proto;
-  for (std::uint32_t i = 0; i < corrupt_r; ++i) {
-    core::AdversaryDesc desc;
-    desc.kind = core::AdversaryDesc::Kind::SplitBrainRelay;
-    desc.id = cfg.k + i;
-    cell.adversaries.push_back(desc);
-  }
-  return cell;
-}
-
-}  // namespace
-
-int main() {
-  const std::uint32_t k = 4;
-  const int trials = 5;
-  std::cout << "E10: property-hold rate vs corrupted relays (one-sided, k = " << k << ")\n\n";
-
-  // Unauthenticated construction, dimensioned for the largest legal budget.
-  const core::BsmConfig unauth{TopologyKind::OneSided, false, k, 0, (k - 1) / 2};
-  const auto unauth_proto = *core::resolve_protocol(unauth);
-  // Authenticated Pi_bSM dimensioned for a fully byzantine R.
-  const core::BsmConfig auth{TopologyKind::OneSided, true, k, 0, k};
-  const auto auth_proto = *core::resolve_protocol(auth);
-
-  // Cells in (c, construction, trial) order: one flat parallel sweep.
-  std::vector<core::ScenarioSpec> cells;
-  for (std::uint32_t c = 0; c <= k; ++c) {
-    for (int s = 0; s < trials; ++s) cells.push_back(crossover_cell(unauth, unauth_proto, c, s));
-    for (int s = 0; s < trials; ++s) cells.push_back(crossover_cell(auth, auth_proto, c, s));
-  }
-  const auto results = core::run_sweep(cells);
-
-  /// Fraction of trials in which every bSM property held.
-  auto hold_rate = [&](std::size_t first) {
-    int held = 0;
-    for (int s = 0; s < trials; ++s) held += results[first + s].ok();
-    return static_cast<double>(held) / trials;
-  };
-
-  Table table(
-      {"corrupt R relays", "unauth majority relay", "auth Pi_bSM", "paper says (unauth | auth)"});
-  bool crossover_matches = true;
-  for (std::uint32_t c = 0; c <= k; ++c) {
-    const std::size_t base = static_cast<std::size_t>(c) * 2 * trials;
-    const double u = hold_rate(base);
-    const double a = hold_rate(base + trials);
-    const bool unauth_expected = 2 * c < k;  // Theorem 4
-    crossover_matches &= a == 1.0;           // Theorem 7: auth must never break
-    if (unauth_expected) crossover_matches &= u == 1.0;
-    table.add_row({std::to_string(c), std::to_string(u), std::to_string(a),
-                   std::string(unauth_expected ? "holds" : "may break") + " | holds"});
-  }
-  std::cout << table.render() << "\n";
-  std::cout << "Expected shape: the unauthenticated column is 1.0 strictly below k/2 = "
-            << k / 2.0 << " corrupted relays and degrades at or above it; the\n"
-            << "authenticated Pi_bSM column stays 1.0 through tR = k (graceful 'nobody').\n";
-  std::cout << "Crossover consistent with Theorems 4 and 7: "
-            << (crossover_matches ? "YES" : "NO") << "\n";
-  return crossover_matches ? 0 : 1;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_fault_crossover();
+  return bsm::core::bench_main(argc, argv);
 }

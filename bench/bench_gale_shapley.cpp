@@ -1,73 +1,11 @@
-// E6 — the A_G-S substrate (Theorem 1): google-benchmark timings plus
-// proposal counts, confirming the O(k^2) complexity claim and its best /
-// worst cases.
-#include <benchmark/benchmark.h>
+// E6 — the A_G-S substrate (Theorem 1): wall-clock and proposal counts
+// over random, contested (worst-case Theta(k^2)), aligned (best-case k),
+// and similar profiles. cells/sec reports proposals per second. Case
+// logic: bench/cases/cases_matching.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "matching/gale_shapley.hpp"
-#include "matching/generators.hpp"
-
-namespace {
-
-using namespace bsm;
-
-void BM_GaleShapley_Random(benchmark::State& state) {
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  const auto profile = matching::random_profile(k, 42);
-  std::uint64_t proposals = 0;
-  for (auto _ : state) {
-    auto result = matching::gale_shapley(profile);
-    proposals = result.proposals;
-    benchmark::DoNotOptimize(result.matching.data());
-  }
-  state.counters["proposals"] = static_cast<double>(proposals);
-  state.counters["proposals/k^2"] =
-      static_cast<double>(proposals) / (static_cast<double>(k) * k);
-  state.SetComplexityN(k);
+int main(int argc, char** argv) {
+  bsm::benchcases::register_gale_shapley();
+  return bsm::core::bench_main(argc, argv);
 }
-BENCHMARK(BM_GaleShapley_Random)->RangeMultiplier(2)->Range(8, 1024)->Complexity();
-
-void BM_GaleShapley_Contested(benchmark::State& state) {
-  // Identical preference lists: Theta(k^2) proposals, the worst case.
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  const auto profile = matching::contested_profile(k);
-  std::uint64_t proposals = 0;
-  for (auto _ : state) {
-    auto result = matching::gale_shapley(profile);
-    proposals = result.proposals;
-    benchmark::DoNotOptimize(result.matching.data());
-  }
-  state.counters["proposals"] = static_cast<double>(proposals);
-  state.SetComplexityN(k);
-}
-BENCHMARK(BM_GaleShapley_Contested)->RangeMultiplier(2)->Range(8, 1024)->Complexity();
-
-void BM_GaleShapley_Aligned(benchmark::State& state) {
-  // Mutually-first-choice pairs: k proposals, the best case.
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  const auto profile = matching::aligned_profile(k);
-  std::uint64_t proposals = 0;
-  for (auto _ : state) {
-    auto result = matching::gale_shapley(profile);
-    proposals = result.proposals;
-    benchmark::DoNotOptimize(result.matching.data());
-  }
-  state.counters["proposals"] = static_cast<double>(proposals);
-  state.SetComplexityN(k);
-}
-BENCHMARK(BM_GaleShapley_Aligned)->RangeMultiplier(2)->Range(8, 1024)->Complexity();
-
-void BM_GaleShapley_Similar(benchmark::State& state) {
-  // Khanchandani-Wattenhofer motivation: nearly identical lists.
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  const auto profile = matching::similar_profile(k, /*swaps=*/k / 4, 7);
-  for (auto _ : state) {
-    auto result = matching::gale_shapley(profile);
-    benchmark::DoNotOptimize(result.matching.data());
-  }
-  state.SetComplexityN(k);
-}
-BENCHMARK(BM_GaleShapley_Similar)->RangeMultiplier(2)->Range(8, 1024)->Complexity();
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,81 +1,12 @@
-// E12 — the cost of the Lemma 3 group-simulation reduction: running a
-// 2K-party protocol on 2d simulators versus running the native 2d-party
-// protocol directly. The reduction buys threshold headroom (one simulator
-// failure only burns one group) at a message/byte premium; this bench
-// quantifies the premium.
-#include <iostream>
+// E12 — the cost of the Lemma 3 group-simulation reduction: a 2K-party
+// protocol on 2d simulators versus the native 2d-party protocol. The
+// reduction buys threshold headroom at a message/byte premium; this bench
+// quantifies the premium and checks every run keeps the sSM properties.
+// Case logic: bench/cases/cases_attacks.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "adversary/strategies.hpp"
-#include "common/table.hpp"
-#include "core/lemma3.hpp"
-#include "core/oracle.hpp"
-#include "core/runner.hpp"
-#include "core/ssm.hpp"
-#include "matching/generators.hpp"
-
-namespace {
-
-using namespace bsm;
-
-struct Cost {
-  Round rounds = 0;
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  bool clean = false;
-};
-
-Cost run_native(std::uint32_t d, std::uint64_t seed) {
-  core::RunSpec spec;
-  spec.config = core::BsmConfig{net::TopologyKind::FullyConnected, false, d, 0, 0};
-  spec.inputs = matching::random_profile(d, seed);
-  const auto out = core::run_bsm(std::move(spec));
-  return {out.rounds, out.traffic.messages, out.traffic.bytes, out.report.all()};
-}
-
-Cost run_simulated(std::uint32_t big_k, std::uint32_t d, std::uint64_t seed) {
-  const core::BsmConfig big{net::TopologyKind::FullyConnected, false, big_k, 0, 0};
-  const auto proto = *core::resolve_protocol(big);
-  net::Engine engine(net::Topology(big.topology, d), seed);
-  const auto inputs = matching::random_profile(d, seed);
-  for (PartyId id = 0; id < 2 * d; ++id) {
-    engine.set_process(
-        id, std::make_unique<core::GroupSimulation>(big, proto, d, id, inputs.list(id), 55));
-  }
-  engine.run(proto.total_rounds + 2);
-  std::vector<std::optional<PartyId>> decisions(2 * d);
-  for (PartyId id = 0; id < 2 * d; ++id) {
-    const auto& p = engine.process_as<core::BsmProcess>(id);
-    if (p.decided()) decisions[id] = p.decision();
-  }
-  const auto report =
-      core::check_ssm(d, std::vector<bool>(2 * d, false), matching::favorites_of(inputs),
-                      decisions);
-  return {proto.total_rounds + 2, engine.stats().messages, engine.stats().bytes, report.all()};
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "E12: Lemma 3 group-simulation overhead (fully-connected, unauth,\n"
-               "fault-free; sSM properties checked on the small market)\n\n";
-  Table table({"d (small k)", "K (big k)", "variant", "rounds", "messages", "bytes", "clean"});
-  bool all_clean = true;
-  for (const auto [d, big_k] : {std::pair{2U, 4U}, std::pair{2U, 6U}, std::pair{3U, 6U},
-                                std::pair{3U, 9U}}) {
-    const auto native = run_native(d, d + big_k);
-    const auto simulated = run_simulated(big_k, d, d + big_k);
-    all_clean &= native.clean && simulated.clean;
-    table.add_row({std::to_string(d), "-", "native 2d-party protocol",
-                   std::to_string(native.rounds), std::to_string(native.messages),
-                   std::to_string(native.bytes), native.clean ? "yes" : "NO"});
-    table.add_row({std::to_string(d), std::to_string(big_k), "simulated 2K-party protocol",
-                   std::to_string(simulated.rounds), std::to_string(simulated.messages),
-                   std::to_string(simulated.bytes), simulated.clean ? "yes" : "NO"});
-  }
-  std::cout << table.render() << "\n";
-  std::cout << "Expected shape: identical round counts (the reduction preserves the\n"
-               "schedule of the *big* protocol), message/byte premium ~ (K/d)^2 from\n"
-               "simulating ceil(K/d) parties per simulator; every run keeps the sSM\n"
-               "properties. All runs clean: " << (all_clean ? "YES" : "NO") << "\n";
-  return all_clean ? 0 : 1;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_lemma3();
+  return bsm::core::bench_main(argc, argv);
 }

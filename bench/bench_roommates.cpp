@@ -1,79 +1,11 @@
 // E11 — the stable roommates extension (paper Section 6): Irving's
-// algorithm cost and solvability rate, plus byzantine-roommates (bRM)
-// end-to-end protocol cost.
-#include <benchmark/benchmark.h>
-
-#include <iostream>
-
-#include "adversary/strategies.hpp"
-#include "common/table.hpp"
-#include "core/roommates_bsm.hpp"
-#include "matching/roommates.hpp"
-
-namespace {
-
-using namespace bsm;
-
-void BM_Irving_Random(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const auto prefs = matching::random_roommate_profile(n, 42);
-  for (auto _ : state) {
-    auto result = matching::stable_roommates(prefs);
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetComplexityN(n);
-}
-BENCHMARK(BM_Irving_Random)->RangeMultiplier(2)->Range(8, 512)->Complexity();
-
-void BM_Irving_SolvabilityRate(benchmark::State& state) {
-  // Counts, per iteration batch, how often random instances are solvable —
-  // the classic empirical observation that the rate decays with n.
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  std::uint64_t solvable = 0;
-  std::uint64_t total = 0;
-  std::uint64_t seed = 0;
-  for (auto _ : state) {
-    solvable += matching::stable_roommates(matching::random_roommate_profile(n, seed++))
-                    .has_value();
-    ++total;
-  }
-  state.counters["solvable_rate"] =
-      benchmark::Counter(static_cast<double>(solvable) / static_cast<double>(total));
-}
-BENCHMARK(BM_Irving_SolvabilityRate)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
-
-}  // namespace
+// algorithm cost, the empirical solvability-rate decay, and byzantine
+// roommates (bRM) end-to-end protocol cost with the full budget silent.
+// Case logic: bench/cases/cases_matching.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
 int main(int argc, char** argv) {
-  // Part 1: bRM end-to-end table (printed before google-benchmark runs).
-  std::cout << "E11: byzantine stable roommates (bRM) end-to-end\n\n";
-  Table table({"setting", "n", "t", "rounds", "messages", "outcome", "properties"});
-  for (const bool auth : {true, false}) {
-    for (const std::uint32_t n : {4U, 6U, 10U}) {
-      const std::uint32_t t = auth ? n / 2 : (n - 1) / 3;
-      core::RoommatesRunSpec spec;
-      spec.config = {n, t, auth};
-      spec.inputs = matching::random_roommate_profile(n, n + t);
-      for (std::uint32_t i = 0; i < t; ++i) {
-        spec.adversaries.emplace_back(i, std::make_unique<adversary::Silent>());
-      }
-      const std::string setting = spec.config.describe();
-      const auto out = core::run_roommates(std::move(spec));
-      std::uint32_t matched = 0;
-      for (PartyId id = 0; id < n; ++id) {
-        matched += !out.corrupt[id] && out.decisions[id].has_value() &&
-                   *out.decisions[id] != kNobody;
-      }
-      table.add_row({setting, std::to_string(n), std::to_string(t),
-                     std::to_string(out.rounds), std::to_string(out.traffic.messages),
-                     std::to_string(matched) + " matched",
-                     out.report.all() ? "all hold" : out.report.summary()});
-    }
-  }
-  std::cout << table.render() << "\n";
-
-  // Part 2: google-benchmark micro-benchmarks of Irving's algorithm.
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bsm::benchcases::register_roommates();
+  return bsm::core::bench_main(argc, argv);
 }

@@ -1,85 +1,13 @@
 // E1 — the paper's results grid (Section 1 / Theorems 2-7), reproduced
-// empirically.
-//
-// For every cell (topology x crypto x tL x tR) at several market sizes:
-//  - if the oracle (the paper) says SOLVABLE, run the factory's protocol
-//    against an adversary battery (silent, noisy, lying, adaptive-crash
-//    corruptions at full budget) over several seeds and report ok iff all
-//    four bSM properties held in every run;
-//  - if it says IMPOSSIBLE, report the theorem/lemma that forbids it (the
-//    matching executable attacks live in bench_attack_lemma{5,7,13}).
-// The final line states whether the empirical grid equals the paper's.
-//
-// All cells are enumerated with SweepGrid and executed in parallel with
-// run_sweep(); this file only aggregates and renders.
-#include <cstdint>
-#include <iostream>
-#include <map>
-#include <tuple>
+// empirically through the shared bench harness: every (topology x crypto
+// x tL x tR) cell at several market sizes runs the factory's protocol
+// against full-budget adversary batteries via run_sweep(); the case is ok
+// iff the empirical grid equals the paper's characterization. Case logic:
+// bench/cases/cases_sweeps.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
 
-#include "common/table.hpp"
-#include "core/sweep.hpp"
-
-namespace {
-
-using namespace bsm;
-using net::TopologyKind;
-
-}  // namespace
-
-int main() {
-  core::SweepGrid grid;
-  grid.topologies = {TopologyKind::FullyConnected, TopologyKind::OneSided,
-                     TopologyKind::Bipartite};
-  grid.auths = {false, true};
-  grid.ks = {3, 4};
-  grid.seeds = {1, 2, 3};
-  grid.batteries = {core::Battery::Silent, core::Battery::Noise, core::Battery::Liars,
-                    core::Battery::AdaptiveCrash};
-  const auto results = core::run_sweep(grid.cells());
-
-  // Aggregate: a (topology, auth, k, tL, tR) grid cell is ok iff every
-  // seed x battery run under it held all four properties.
-  std::map<std::tuple<TopologyKind, bool, std::uint32_t, std::uint32_t, std::uint32_t>, bool> ok;
-  for (const auto& cell : results) {
-    const auto& cfg = cell.scenario.config;
-    const auto key = std::make_tuple(cfg.topology, cfg.authenticated, cfg.k, cfg.tl, cfg.tr);
-    if (!cell.solvable) continue;
-    auto [it, inserted] = ok.try_emplace(key, true);
-    it->second &= cell.ok();
-  }
-
-  bool grid_matches = true;
-  for (const bool auth : {false, true}) {
-    for (const auto topo :
-         {TopologyKind::FullyConnected, TopologyKind::OneSided, TopologyKind::Bipartite}) {
-      for (const std::uint32_t k : {3U, 4U}) {
-        std::cout << "=== " << net::to_string(topo)
-                  << (auth ? " / authenticated" : " / unauthenticated") << ", k = " << k
-                  << " ===\n";
-        std::vector<std::string> header{"tL \\ tR"};
-        for (std::uint32_t tr = 0; tr <= k; ++tr) header.push_back(std::to_string(tr));
-        Table table(header);
-        for (std::uint32_t tl = 0; tl <= k; ++tl) {
-          std::vector<std::string> row{std::to_string(tl)};
-          for (std::uint32_t tr = 0; tr <= k; ++tr) {
-            const auto it = ok.find(std::make_tuple(topo, auth, k, tl, tr));
-            std::string cell = "imp";
-            if (it != ok.end()) {
-              grid_matches &= it->second;
-              cell = it->second ? "ok" : "FAIL";
-            }
-            row.push_back(cell);
-          }
-          table.add_row(std::move(row));
-        }
-        std::cout << table.render();
-        std::cout << "  legend: ok = protocol ran clean at full corruption budget;\n"
-                     "          imp = impossible per the paper (see attack benches)\n\n";
-      }
-    }
-  }
-  std::cout << "Empirical grid matches the paper's characterization: "
-            << (grid_matches ? "YES" : "NO") << "\n";
-  return grid_matches ? 0 : 1;
+int main(int argc, char** argv) {
+  bsm::benchcases::register_solvability_grid();
+  return bsm::core::bench_main(argc, argv);
 }

@@ -1,0 +1,136 @@
+// Matching-substrate case groups: gale_shapley (E6, the A_G-S algorithm of
+// Theorem 1) and roommates (E11, Irving's algorithm plus the bRM
+// end-to-end protocol of Section 6).
+#include <cstdint>
+#include <vector>
+
+#include "adversary/strategies.hpp"
+#include "cases/cases.hpp"
+#include "cases/digest.hpp"
+#include "common/hash.hpp"
+#include "core/bench.hpp"
+#include "core/roommates_bsm.hpp"
+#include "matching/gale_shapley.hpp"
+#include "matching/generators.hpp"
+#include "matching/roommates.hpp"
+
+namespace bsm::benchcases {
+namespace {
+
+using namespace bsm;
+using core::BenchCase;
+using core::BenchContext;
+using core::BenchRun;
+
+/// One A_G-S execution; work units = proposals (the paper's cost metric),
+/// digest = the matching itself (all honest parties must compute the same
+/// one — determinism is load-bearing for the bSM reductions).
+[[nodiscard]] BenchRun run_gale_shapley(const matching::PreferenceProfile& profile) {
+  BenchRun run;
+  const auto result = matching::gale_shapley(profile);
+  run.cells = result.proposals;
+  run.digest = digest_ids(splitmix64(result.proposals), result.matching);
+  run.ok = result.matching.size() == 2 * profile.k();
+  return run;
+}
+
+[[nodiscard]] BenchRun run_irving(std::uint32_t n, std::uint64_t seed) {
+  BenchRun run;
+  const auto prefs = matching::random_roommate_profile(n, seed);
+  const auto m = matching::stable_roommates(prefs);
+  run.cells = n;
+  run.digest = m.has_value() ? digest_ids(1, *m) : splitmix64(0xdead);
+  run.ok = !m.has_value() || matching::is_stable_roommates(prefs, *m);
+  return run;
+}
+
+/// Empirical solvability-rate sweep: `trials` random instances at size n.
+[[nodiscard]] BenchRun run_solvability_rate(std::uint32_t n, std::uint64_t trials) {
+  BenchRun run;
+  run.cells = trials;
+  std::uint64_t solvable = 0;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    const bool s = matching::stable_roommates(matching::random_roommate_profile(n, seed))
+                       .has_value();
+    solvable += s;
+    run.digest = hash_combine(run.digest, splitmix64(s));
+  }
+  run.digest = hash_combine(run.digest, splitmix64(solvable));
+  return run;
+}
+
+/// bRM end-to-end: the table of E11 — both auth settings at several sizes,
+/// the full budget silent. ok iff the refined bRM properties held in every
+/// run.
+[[nodiscard]] BenchRun run_brm_end_to_end(const std::vector<std::uint32_t>& sizes) {
+  BenchRun run;
+  for (const bool auth : {true, false}) {
+    for (const std::uint32_t n : sizes) {
+      const std::uint32_t t = auth ? n / 2 : (n - 1) / 3;
+      core::RoommatesRunSpec spec;
+      spec.config = {n, t, auth};
+      spec.inputs = matching::random_roommate_profile(n, n + t);
+      for (std::uint32_t i = 0; i < t; ++i) {
+        spec.adversaries.emplace_back(i, std::make_unique<adversary::Silent>());
+      }
+      const auto out = core::run_roommates(std::move(spec));
+      ++run.cells;
+      run.rounds += out.rounds;
+      run.messages += out.traffic.messages;
+      run.bytes += out.traffic.bytes;
+      run.ok &= out.report.all();
+      for (PartyId id = 0; id < n; ++id) {
+        const PartyId d =
+            out.decisions[id].has_value() ? *out.decisions[id] : kNobody - 1;
+        run.digest = hash_combine(run.digest, splitmix64((std::uint64_t{n} << 32) | d));
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+void register_gale_shapley() {
+  core::register_bench({"gale_shapley/random_k256",
+                        [](const BenchContext&) {
+                          return run_gale_shapley(matching::random_profile(256, 42));
+                        }});
+  core::register_bench({"gale_shapley/random_k1024",
+                        [](const BenchContext&) {
+                          return run_gale_shapley(matching::random_profile(1024, 42));
+                        }});
+  core::register_bench({"gale_shapley/contested_k256",  // Theta(k^2), the worst case
+                        [](const BenchContext&) {
+                          return run_gale_shapley(matching::contested_profile(256));
+                        }});
+  core::register_bench({"gale_shapley/aligned_k256",  // k proposals, the best case
+                        [](const BenchContext&) {
+                          return run_gale_shapley(matching::aligned_profile(256));
+                        }});
+  core::register_bench({"gale_shapley/similar_k256",  // Khanchandani-Wattenhofer motivation
+                        [](const BenchContext&) {
+                          return run_gale_shapley(matching::similar_profile(256, /*swaps=*/64, 7));
+                        }});
+  core::register_bench({"gale_shapley/smoke",
+                        [](const BenchContext&) {
+                          return run_gale_shapley(matching::random_profile(32, 42));
+                        }});
+}
+
+void register_roommates() {
+  core::register_bench({"roommates/irving_random_n128",
+                        [](const BenchContext&) { return run_irving(128, 42); }});
+  core::register_bench({"roommates/irving_random_n512",
+                        [](const BenchContext&) { return run_irving(512, 42); }});
+  core::register_bench({"roommates/irving_solvability_rate_n32",
+                        [](const BenchContext&) { return run_solvability_rate(32, 200); }});
+  core::register_bench({"roommates/brm_end_to_end",
+                        [](const BenchContext&) {
+                          return run_brm_end_to_end({4U, 6U, 10U});
+                        }});
+  core::register_bench({"roommates/smoke",
+                        [](const BenchContext&) { return run_irving(16, 42); }});
+}
+
+}  // namespace bsm::benchcases

@@ -1,0 +1,31 @@
+// Shared digest helpers for bench cases. A case's digest is its observable
+// output folded into 64 bits — the harness compares digests across repeats
+// to enforce the determinism contract (see core/bench.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "core/runner.hpp"
+
+namespace bsm::benchcases {
+
+[[nodiscard]] inline std::uint64_t digest_ids(std::uint64_t h, const std::vector<PartyId>& ids) {
+  for (const PartyId id : ids) h = hash_combine(h, splitmix64(id));
+  return h;
+}
+
+/// Fold one experiment outcome: per-party view hashes (the engine's
+/// indistinguishability digests), traffic, rounds, and the property verdict.
+[[nodiscard]] inline std::uint64_t digest_outcome(std::uint64_t h, const core::RunOutcome& out) {
+  for (const std::uint64_t v : out.view_hashes) h = hash_combine(h, v);
+  h = hash_combine(h, splitmix64(out.traffic.messages));
+  h = hash_combine(h, splitmix64(out.traffic.bytes));
+  h = hash_combine(h, splitmix64(out.rounds));
+  h = hash_combine(h, splitmix64(static_cast<std::uint64_t>(out.report.all())));
+  return h;
+}
+
+}  // namespace bsm::benchcases

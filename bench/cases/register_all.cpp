@@ -1,0 +1,20 @@
+#include "cases/cases.hpp"
+
+namespace bsm::benchcases {
+
+void register_all() {
+  register_solvability_grid();
+  register_channel_simulation();
+  register_attack_lemma5();
+  register_attack_lemma7();
+  register_attack_lemma13();
+  register_gale_shapley();
+  register_broadcast_protocols();
+  register_bsm_end_to_end();
+  register_ablation();
+  register_fault_crossover();
+  register_roommates();
+  register_lemma3();
+}
+
+}  // namespace bsm::benchcases

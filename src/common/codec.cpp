@@ -1,6 +1,16 @@
 #include "common/codec.hpp"
 
+#include <charconv>
+
 namespace bsm {
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
 
 void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
 

@@ -9,11 +9,17 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace bsm {
+
+/// Strict non-negative integer parse for CLI flags and text inputs:
+/// rejects junk, signs, and overflow (std::stoul would accept "-1" as
+/// 2^64-1 and throw on "abc").
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept;
 
 /// Append-only serializer.
 class Writer {

@@ -7,6 +7,14 @@
 // Every harness that used to hand-roll nested loops over (k, tL, tR, seed,
 // adversary) now enumerates cells with SweepGrid and executes them with
 // run_sweep() (see core/sweep.hpp).
+//
+// Determinism contract: to_run_spec() is a pure function of the spec's
+// value — all randomness (inputs, PKI keys, noise streams) derives from
+// the seeds carried inside the spec, never from global state — so the
+// same ScenarioSpec always produces the same RunOutcome, on any thread,
+// in any cell order. This is what makes a ScenarioSpec a meaningful unit
+// of comparison across commits (the bench harness keys its determinism
+// digests on it) and what lets run_sweep() promise parallel ≡ serial.
 #pragma once
 
 #include <cstdint>

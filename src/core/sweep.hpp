@@ -6,10 +6,18 @@
 // determinism guarantee is strict — parallel results are byte-identical to
 // the serial fallback, because each cell owns its engine, PKI, and RNG
 // streams and results are written to pre-sized slots (no ordering races).
+// The guarantee is asserted over full RunOutcome equality (view hashes,
+// property reports, traffic counters) by tests/sweep_test.cpp, and the
+// bench harness (core/bench.hpp) leans on it to compare digests across
+// repeats at any --threads value: thread count is a throughput knob, never
+// an outcome knob.
 //
 // run_cells() is the generic deterministic parallel map underneath; use it
 // directly for harnesses whose cells are not ScenarioSpecs (e.g. raw
-// broadcast-layer experiments).
+// broadcast-layer experiments). Its only requirement on the cell function
+// is purity per cell: fn(cell) must not touch shared mutable state, since
+// the schedule (dynamic work stealing) is nondeterministic even though the
+// result placement is not.
 #pragma once
 
 #include <cstddef>

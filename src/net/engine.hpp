@@ -32,6 +32,17 @@ namespace bsm::net {
 /// Traffic statistics for benchmark harnesses and sweep reports: aggregate
 /// totals plus per-round and per-channel (sender, recipient) breakdowns.
 /// Counters record *sent* traffic, keyed by the round the send happened in.
+///
+/// Two properties are load-bearing for the layers above:
+///  - Exact decomposition: the per-round counters and the per-channel
+///    matrix each sum to the aggregate totals, message for message and
+///    byte for byte (asserted by tests/sweep_test.cpp) — so a harness may
+///    aggregate whichever axis it likes without double counting.
+///  - Determinism: counting happens at the send call inside the lock-step
+///    round, so two runs of the same (config, seeds, adversary plan) yield
+///    identical TrafficStats (operator== is byte-exact). The bench harness
+///    folds these counters into its repeat-determinism digest, and the
+///    sweep layer's parallel ≡ serial guarantee includes them.
 struct TrafficStats {
   struct Counter {
     std::uint64_t messages = 0;
@@ -60,6 +71,13 @@ struct TrafficStats {
 /// recipient, ordered by sender id within each group (ties keep send
 /// order). Buffers are recycled round over round — steady state makes no
 /// envelope allocations, and payloads are moved in, never copied.
+///
+/// The (sender id, send order) delivery order is THE determinism contract
+/// of the engine: it fixes each party's inbox byte-for-byte given the
+/// round's sends, which makes per-party view hashes reproducible across
+/// runs and thread schedules. Protocol code may rely on it; nothing may
+/// weaken it without breaking the impossibility experiments (view-hash
+/// indistinguishability) and the sweep/bench determinism checks.
 class Mailbox {
  public:
   /// Take ownership of last round's sends and index them by recipient.
@@ -118,7 +136,11 @@ class Engine {
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
 
   /// Digest of everything `id` has received so far (its "view"). Runs with
-  /// equal view hashes are indistinguishable to that party.
+  /// equal view hashes are indistinguishable to that party. Reproducible
+  /// bit-for-bit across runs and thread counts (a consequence of the
+  /// Mailbox delivery order) — the Lemma 13 experiment compares attack
+  /// views against crash-baseline views with ==, and the bench harness
+  /// folds view hashes into its repeat-determinism digests.
   [[nodiscard]] std::uint64_t view_hash(PartyId id) const;
 
   /// Wiretap for tests and tooling: called once per *delivered* envelope

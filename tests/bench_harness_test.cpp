@@ -1,0 +1,321 @@
+// The benchmark harness's contracts (core/bench.hpp):
+//
+//  1. The JsonReporter's output is valid JSON and matches the
+//     BENCH_results.json schema documented in docs/BENCHMARKS.md, field
+//     for field — including for a zero-case run.
+//  2. --filter (BenchRegistry::matching) selects exactly the cases whose
+//     names match the regex.
+//  3. Repeats of a deterministic case produce identical digests; a
+//     nondeterministic case is detected and fails the suite.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <regex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bench.hpp"
+
+namespace bsm::core {
+namespace {
+
+// ------------------------------------------------- minimal JSON parser
+// Just enough JSON to validate the reporter's output: objects, arrays,
+// strings, numbers, booleans. Throws std::runtime_error on malformed
+// input, so EXPECT_NO_THROW(parse(...)) is the validity assertion.
+
+struct JsonValue {
+  enum class Kind { Object, Array, String, Number, Bool, Null } kind = Kind::Null;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0;
+  bool boolean = false;
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return object.contains(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] JsonValue parse() {
+    const JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) throw std::runtime_error(std::string("expected ") + c);
+    ++pos_;
+  }
+  bool consume(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      v.kind = JsonValue::Kind::Object;
+      expect('{');
+      if (peek() != '}') {
+        while (true) {
+          JsonValue key = value();
+          if (key.kind != JsonValue::Kind::String) throw std::runtime_error("non-string key");
+          expect(':');
+          v.object[key.string] = value();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      }
+      expect('}');
+    } else if (c == '[') {
+      v.kind = JsonValue::Kind::Array;
+      expect('[');
+      if (peek() != ']') {
+        while (true) {
+          v.array.push_back(value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      }
+      expect(']');
+    } else if (c == '"') {
+      v.kind = JsonValue::Kind::String;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\') {
+          ++pos_;
+          if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        }
+        v.string.push_back(text_[pos_++]);
+      }
+      expect('"');
+    } else if (consume("true")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = true;
+    } else if (consume("false")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = false;
+    } else if (consume("null")) {
+      v.kind = JsonValue::Kind::Null;
+    } else {
+      v.kind = JsonValue::Kind::Number;
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+              text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E')) {
+        ++pos_;
+      }
+      if (pos_ == start) throw std::runtime_error("bad value");
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] JsonValue parse_json(const std::string& text) { return JsonParser(text).parse(); }
+
+// ------------------------------------------------------------ fixtures
+
+[[nodiscard]] BenchCase fast_case(std::string name, std::uint64_t digest, bool ok = true) {
+  BenchCase c;
+  c.name = std::move(name);
+  c.repeats = 3;
+  c.warmup = 1;
+  c.run = [digest, ok](const BenchContext&) {
+    BenchRun run;
+    run.cells = 10;
+    run.rounds = 4;
+    run.messages = 100;
+    run.bytes = 1000;
+    run.digest = digest;
+    run.ok = ok;
+    return run;
+  };
+  return c;
+}
+
+// --------------------------------------------------------------- tests
+
+TEST(BenchHarness, JsonReportMatchesDocumentedSchema) {
+  const std::vector<BenchCase> cases{fast_case("alpha/one", 0xabc), fast_case("beta/two", 0xdef)};
+  const auto results = run_benchmarks(cases, {});
+  const JsonReporter reporter(/*threads=*/4, "deadbeef");
+  const std::string json = reporter.render(results);
+
+  JsonValue doc;
+  ASSERT_NO_THROW(doc = parse_json(json)) << json;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+
+  // Top-level fields, as documented in docs/BENCHMARKS.md.
+  EXPECT_EQ(doc.at("schema_version").number, kBenchSchemaVersion);
+  EXPECT_EQ(doc.at("tool").string, "bsm-bench");
+  EXPECT_EQ(doc.at("git_sha").string, "deadbeef");
+  EXPECT_EQ(doc.at("threads").number, 4);
+  EXPECT_EQ(doc.at("total_cases").number, 2);
+  EXPECT_EQ(doc.at("all_ok").kind, JsonValue::Kind::Bool);
+  EXPECT_TRUE(doc.at("all_ok").boolean);
+  EXPECT_TRUE(doc.at("all_deterministic").boolean);
+  EXPECT_TRUE(doc.at("ok").boolean);
+
+  const auto& arr = doc.at("cases");
+  ASSERT_EQ(arr.kind, JsonValue::Kind::Array);
+  ASSERT_EQ(arr.array.size(), 2U);
+
+  const auto& c0 = arr.array[0];
+  EXPECT_EQ(c0.at("name").string, "alpha/one");
+  EXPECT_EQ(c0.at("repeats").number, 3);
+  EXPECT_EQ(c0.at("warmup").number, 1);
+  ASSERT_EQ(c0.at("wall_ms").kind, JsonValue::Kind::Array);
+  EXPECT_EQ(c0.at("wall_ms").array.size(), 3U);
+  EXPECT_EQ(c0.at("min_ms").kind, JsonValue::Kind::Number);
+  EXPECT_EQ(c0.at("median_ms").kind, JsonValue::Kind::Number);
+  EXPECT_EQ(c0.at("mean_ms").kind, JsonValue::Kind::Number);
+  EXPECT_EQ(c0.at("cells").number, 10);
+  EXPECT_EQ(c0.at("cells_per_sec").kind, JsonValue::Kind::Number);
+  EXPECT_EQ(c0.at("rounds").number, 4);
+  EXPECT_EQ(c0.at("messages").number, 100);
+  EXPECT_EQ(c0.at("bytes").number, 1000);
+  EXPECT_EQ(c0.at("digest").string, "0000000000000abc");
+  EXPECT_TRUE(c0.at("deterministic").boolean);
+  EXPECT_TRUE(c0.at("ok").boolean);
+
+  // Aggregate ordering invariants on the timing stats.
+  EXPECT_LE(c0.at("min_ms").number, c0.at("median_ms").number);
+  EXPECT_LE(c0.at("min_ms").number, c0.at("mean_ms").number);
+}
+
+TEST(BenchHarness, ZeroCaseRunEmitsValidEmptyReport) {
+  const JsonReporter reporter(/*threads=*/1, "deadbeef");
+  const std::string json = reporter.render({});
+  JsonValue doc;
+  ASSERT_NO_THROW(doc = parse_json(json)) << json;
+  EXPECT_EQ(doc.at("schema_version").number, kBenchSchemaVersion);
+  EXPECT_EQ(doc.at("total_cases").number, 0);
+  EXPECT_EQ(doc.at("cases").kind, JsonValue::Kind::Array);
+  EXPECT_TRUE(doc.at("cases").array.empty());
+  EXPECT_TRUE(doc.at("all_ok").boolean);
+  EXPECT_TRUE(doc.at("ok").boolean);
+}
+
+TEST(BenchHarness, FilterSelectsMatchingCases) {
+  BenchRegistry registry;
+  registry.add(fast_case("grid/full", 1));
+  registry.add(fast_case("grid/smoke", 2));
+  registry.add(fast_case("attack/smoke", 3));
+  registry.add(fast_case("attack/boundary", 4));
+
+  EXPECT_EQ(registry.matching("").size(), 4U);
+
+  const auto smoke = registry.matching("smoke");
+  ASSERT_EQ(smoke.size(), 2U);
+  EXPECT_EQ(smoke[0].name, "grid/smoke");
+  EXPECT_EQ(smoke[1].name, "attack/smoke");
+
+  const auto anchored = registry.matching("^grid/");
+  ASSERT_EQ(anchored.size(), 2U);
+  EXPECT_EQ(anchored[0].name, "grid/full");
+
+  EXPECT_TRUE(registry.matching("nothing-matches-this").empty());
+  EXPECT_THROW((void)registry.matching("["), std::regex_error);
+}
+
+TEST(BenchHarness, RepeatsProduceIdenticalDigestsForDeterministicCases) {
+  const std::vector<BenchCase> cases{fast_case("det/case", 42)};
+  const auto results = run_benchmarks(cases, {.repeats = 5});
+  ASSERT_EQ(results.size(), 1U);
+  EXPECT_EQ(results[0].repeats, 5);
+  EXPECT_EQ(results[0].wall_ms.size(), 5U);
+  EXPECT_TRUE(results[0].deterministic);
+  EXPECT_EQ(results[0].run.digest, 42U);
+  EXPECT_TRUE(results[0].run.ok);
+}
+
+TEST(BenchHarness, NondeterminismAcrossRepeatsIsDetected) {
+  BenchCase flaky;
+  flaky.name = "flaky/case";
+  flaky.repeats = 3;
+  flaky.warmup = 0;
+  auto counter = std::make_shared<std::uint64_t>(0);
+  flaky.run = [counter](const BenchContext&) {
+    BenchRun run;
+    run.digest = (*counter)++;  // different every execution
+    return run;
+  };
+  const auto results = run_benchmarks({flaky}, {});
+  ASSERT_EQ(results.size(), 1U);
+  EXPECT_FALSE(results[0].deterministic);
+}
+
+TEST(BenchHarness, FailedCaseIsReportedAndPoisonsAggregates) {
+  const std::vector<BenchCase> cases{fast_case("good/case", 1, true),
+                                     fast_case("bad/case", 2, false)};
+  const auto results = run_benchmarks(cases, {});
+  const JsonReporter reporter(1, "x");
+  const auto doc = parse_json(reporter.render(results));
+  EXPECT_FALSE(doc.at("all_ok").boolean);
+  EXPECT_FALSE(doc.at("ok").boolean);
+  EXPECT_TRUE(doc.at("cases").array[0].at("ok").boolean);
+  EXPECT_FALSE(doc.at("cases").array[1].at("ok").boolean);
+}
+
+TEST(BenchHarness, RepeatOverrideAndCaseDefaultsBothApply) {
+  auto c = fast_case("defaults/case", 7);
+  c.repeats = 2;
+  const auto with_default = run_benchmarks({c}, {});
+  EXPECT_EQ(with_default[0].repeats, 2);
+  EXPECT_EQ(with_default[0].wall_ms.size(), 2U);
+
+  const auto with_override = run_benchmarks({c}, {.repeats = 4});
+  EXPECT_EQ(with_override[0].repeats, 4);
+  EXPECT_EQ(with_override[0].wall_ms.size(), 4U);
+}
+
+TEST(BenchHarness, TimerMeasuresMonotonicallyAndRestarts) {
+  Timer t;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sink, 0U);  // keeps the busy loop observable
+  const double first = t.elapsed_ms();
+  EXPECT_GE(first, 0.0);
+  t.restart();
+  EXPECT_LE(t.elapsed_ms(), first + 1000.0);  // restart resets the origin
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace bsm::core

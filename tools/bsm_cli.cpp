@@ -1,25 +1,20 @@
 // bsm_cli — run any byzantine-stable-matching scenario from the command
-// line and inspect the outcome, or sweep whole scenario grids in parallel.
+// line and inspect the outcome, sweep whole scenario grids in parallel,
+// or run the registered benchmark suite.
 //
-// Usage:
-//   bsm_cli [--topology fully|one-sided|bipartite] [--auth|--no-auth]
-//           [--k N] [--tl N] [--tr N] [--seed S]
-//           [--adversary silent|noise|liar|split|crash]...
-//           [--verbose]
-//   bsm_cli sweep [--topology LIST] [--auth both|on|off] [--k LIST]
-//                 [--tl LIST] [--tr LIST] [--seeds N] [--battery LIST]
-//                 [--threads N]
+// Subcommands (see usage() or `bsm_cli --help` for every flag):
+//   bsm_cli [run] [flags]    one scenario, human-readable outcome table
+//   bsm_cli sweep [flags]    a cartesian scenario grid via run_sweep(),
+//                            one machine-readable JSON document on stdout
+//   bsm_cli bench [flags]    the full benchmark suite (every bench/ case
+//                            group) via the shared harness; emits the
+//                            BENCH_results.json schema on stdout
 //
 // Adversaries are assigned to the highest-budget ids per side, one flag per
 // corrupted party, alternating L then R while budget remains. Exits 0 when
 // all four bSM properties held; 2 when the setting is unsolvable per the
-// paper; 1 on a property violation (which inside the solvable region would
-// be a library bug — please report it).
-//
-// `sweep` enumerates the cartesian grid, executes every cell on a thread
-// pool via run_sweep(), and emits one machine-readable JSON document on
-// stdout. Exits 0 iff every solvable cell held all four properties.
-#include <charconv>
+// paper (or on a usage error); 1 on a property violation (which inside the
+// solvable region would be a library bug — please report it).
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -27,7 +22,10 @@
 
 #include "adversary/shims.hpp"
 #include "adversary/strategies.hpp"
+#include "cases/cases.hpp"
+#include "common/codec.hpp"
 #include "common/table.hpp"
+#include "core/bench.hpp"
 #include "core/oracle.hpp"
 #include "core/runner.hpp"
 #include "core/sweep.hpp"
@@ -39,8 +37,16 @@ using namespace bsm;
 
 void usage() {
   std::cout <<
-      R"(bsm_cli — byzantine stable matching scenario runner
+      R"(bsm_cli — byzantine stable matching toolkit
 
+usage:
+  bsm_cli [run] [flags]   run one scenario, print the outcome table
+  bsm_cli sweep [flags]   run a scenario grid in parallel, emit JSON on stdout
+  bsm_cli bench [flags]   run the benchmark suite, emit BENCH_results.json on stdout
+  bsm_cli --help          this text (also: bsm_cli SUBCOMMAND --help)
+
+run flags (exit 0 = all four bSM properties held, 1 = violation,
+2 = unsolvable setting or usage error):
   --topology fully|one-sided|bipartite   network topology  (default: fully)
   --auth / --no-auth                     PKI available?    (default: auth)
   --k N                                  parties per side  (default: 4)
@@ -49,9 +55,12 @@ void usage() {
   --adversary KIND                       add one corrupted party, kinds:
                                          silent noise liar split crash
   --verbose                              print preference lists too
-  --help                                 this text
 
-sweep subcommand (bsm_cli sweep ...): run a whole grid, emit JSON
+sweep flags (enumerates the cartesian grid over every axis below, runs
+each cell on a thread pool, and prints one JSON document: per-cell
+topology/auth/k/tl/tr/seed, solvability, protocol, rounds, messages,
+bytes, and the four property verdicts, plus aggregate totals; exit 0 iff
+every solvable cell held all four properties):
   --topology LIST      comma list of fully,one-sided,bipartite (default all)
   --auth both|on|off   authentication axis             (default: both)
   --k LIST             comma list of market sizes      (default: 3)
@@ -59,20 +68,20 @@ sweep subcommand (bsm_cli sweep ...): run a whole grid, emit JSON
   --seeds N            workload seeds 1..N             (default: 2)
   --battery LIST       comma list of silent,noise,liars,adaptive (default all)
   --threads N          worker threads, 0 = hardware    (default: 0)
+
+bench flags (runs every registered benchmark case group — the same cases
+the bench/ binaries run — and prints the versioned BENCH_results.json
+schema, documented in docs/BENCHMARKS.md, on stdout; exit 0 iff every
+case was ok and deterministic):
+  --threads N          worker threads for parallel cases (default: 0 = hardware)
+  --repeats N          override every case's repeat count
+  --filter REGEX       run only cases whose name matches
+  --json PATH|-        write the JSON to PATH instead of stdout
+  --list               print registered case names and exit
 )";
 }
 
 // ------------------------------------------------------------- sweep mode
-
-/// Strict non-negative integer parse: rejects junk, signs, and overflow
-/// (std::stoul would accept "-1" as 2^64-1 and throw on "abc").
-[[nodiscard]] std::optional<std::uint64_t> parse_u64(const std::string& s) {
-  if (s.empty()) return std::nullopt;
-  std::uint64_t value = 0;
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
-  return value;
-}
 
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -112,6 +121,11 @@ int run_sweep_command(int argc, char** argv) {
     };
     if (arg == "--help") {
       usage();
+      return 0;
+    }
+    if (arg != "--topology" && arg != "--auth" && arg != "--k" && arg != "--tl" &&
+        arg != "--tr" && arg != "--seeds" && arg != "--battery" && arg != "--threads") {
+      std::cerr << "unknown sweep argument: " << arg << " (try --help)\n";
       return 2;
     }
     const auto value = next();
@@ -180,16 +194,13 @@ int run_sweep_command(int argc, char** argv) {
           return 2;
         }
       }
-    } else if (arg == "--threads") {
+    } else {  // --threads, the only flag left after the known-flag gate above
       const auto parsed = parse_u64(*value);
       if (!parsed || *parsed > 1024) {
         std::cerr << "bad --threads value: " << *value << " (expected 0..1024)\n";
         return 2;
       }
       opts.threads = static_cast<unsigned>(*parsed);
-    } else {
-      std::cerr << "unknown sweep argument: " << arg << " (try --help)\n";
-      return 2;
     }
   }
   grid.seeds.clear();
@@ -234,11 +245,14 @@ struct Options {
   std::uint64_t seed = 1;
   std::vector<std::string> adversaries;
   bool verbose = false;
+  bool help = false;
 };
 
-[[nodiscard]] std::optional<Options> parse(int argc, char** argv) {
+/// Parse run-mode flags starting at argv[first]. nullopt = usage error
+/// (exit 2); an Options with `help` set = --help was given (exit 0).
+[[nodiscard]] std::optional<Options> parse(int argc, char** argv, int first) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::optional<std::string> {
       if (i + 1 >= argc) return std::nullopt;
@@ -246,7 +260,8 @@ struct Options {
     };
     if (arg == "--help") {
       usage();
-      return std::nullopt;
+      opt.help = true;
+      return opt;
     } else if (arg == "--topology") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -267,7 +282,12 @@ struct Options {
     } else if (arg == "--k" || arg == "--tl" || arg == "--tr" || arg == "--seed") {
       const auto v = next();
       if (!v) return std::nullopt;
-      const auto value = static_cast<std::uint32_t>(std::stoul(*v));
+      const auto parsed = parse_u64(*v);
+      if (!parsed || *parsed > 1'000'000) {
+        std::cerr << "bad " << arg << " value: " << *v << " (expected 0..1000000)\n";
+        return std::nullopt;
+      }
+      const auto value = static_cast<std::uint32_t>(*parsed);
       if (arg == "--k") opt.cfg.k = value;
       if (arg == "--tl") opt.cfg.tl = value;
       if (arg == "--tr") opt.cfg.tr = value;
@@ -313,9 +333,20 @@ struct Options {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::string(argv[1]) == "sweep") return run_sweep_command(argc, argv);
-  const auto parsed = parse(argc, argv);
+  int first = 1;
+  if (argc > 1) {
+    const std::string sub = argv[1];
+    if (sub == "sweep") return run_sweep_command(argc, argv);
+    if (sub == "bench") {
+      // The registered suite = every case group the bench/ binaries run.
+      benchcases::register_all();
+      return core::bench_main(argc - 1, argv + 1, {.default_json = "-"});
+    }
+    if (sub == "run") first = 2;  // explicit alias for the default mode
+  }
+  const auto parsed = parse(argc, argv, first);
   if (!parsed) return 2;
+  if (parsed->help) return 0;
   const Options& opt = *parsed;
 
   std::cout << "Setting:   " << opt.cfg.describe() << "\n";
