@@ -1,0 +1,12 @@
+// The sweep scheduler + oracle-cache measurements: work-stealing vs static
+// partitioning over a deliberately skewed grid, and the memoized
+// solvability oracle hot vs cold. Case logic: bench/cases/
+// cases_scheduler.cpp; compare medians at --repeats 5.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
+
+int main(int argc, char** argv) {
+  bsm::benchcases::register_sweep_scheduler();
+  bsm::benchcases::register_oracle_cache();
+  return bsm::core::bench_main(argc, argv);
+}

@@ -20,6 +20,8 @@ void register_lemma3();               // E12 — group-simulation overhead
 void register_broadcast_protocols();  // E7  — building-block closed forms
 void register_bsm_end_to_end();       // E8  — per-construction cost
 void register_channel_simulation();   // E2  — virtual channel cost
+void register_sweep_scheduler();      // work-stealing vs static partitioning
+void register_oracle_cache();         // memoized solvability oracle
 
 /// Register every group (the full suite, in E-number order).
 void register_all();

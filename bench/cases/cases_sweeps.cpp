@@ -62,7 +62,13 @@ void accumulate(BenchRun& run, const std::vector<core::CellResult>& results) {
   grid.ks = std::move(ks);
   grid.seeds = std::move(seeds);
   grid.batteries = std::move(batteries);
-  const auto results = core::run_sweep(grid.cells(), {.threads = ctx.threads});
+  // Fresh cache per execution: against the warm process-global cache the
+  // timing would depend on which cases ran earlier in the same process,
+  // making medians incomparable across invocation contexts.
+  core::OracleCache cache;
+  core::SweepOptions opts{.threads = ctx.threads};
+  opts.oracle = &cache;
+  const auto results = core::run_sweep(grid.cells(), opts);
 
   std::map<std::tuple<TopologyKind, bool, std::uint32_t, std::uint32_t, std::uint32_t>, bool> ok;
   for (const auto& cell : results) {
@@ -115,7 +121,10 @@ void accumulate(BenchRun& run, const std::vector<core::CellResult>& results) {
     for (int s = 0; s < trials; ++s) cells.push_back(crossover_cell(unauth, unauth_proto, c, s));
     for (int s = 0; s < trials; ++s) cells.push_back(crossover_cell(auth, auth_proto, c, s));
   }
-  const auto results = core::run_sweep(cells, {.threads = ctx.threads});
+  core::OracleCache cache;  // fresh per execution, see run_solvability_grid
+  core::SweepOptions opts{.threads = ctx.threads};
+  opts.oracle = &cache;
+  const auto results = core::run_sweep(cells, opts);
 
   const auto hold_rate = [&](std::size_t first) {
     int held = 0;

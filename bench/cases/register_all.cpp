@@ -15,6 +15,8 @@ void register_all() {
   register_fault_crossover();
   register_roommates();
   register_lemma3();
+  register_sweep_scheduler();
+  register_oracle_cache();
 }
 
 }  // namespace bsm::benchcases

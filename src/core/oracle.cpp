@@ -1,5 +1,7 @@
 #include "core/oracle.hpp"
 
+#include "common/hash.hpp"
+
 namespace bsm::core {
 
 namespace {
@@ -69,6 +71,92 @@ std::string solvability_reason(const BsmConfig& cfg) {
     }
   }
   return "?";
+}
+
+// ------------------------------------------------------------ OracleCache
+
+OracleKey OracleKey::from_config(const BsmConfig& cfg, std::uint64_t adv_digest) {
+  return OracleKey{cfg.topology, cfg.authenticated, cfg.k, cfg.tl, cfg.tr, adv_digest};
+}
+
+std::uint64_t OracleKey::digest() const noexcept {
+  // Pack the small axes into one word, mix, then fold in the adversary
+  // structure. splitmix64 gives full avalanche, so near-identical settings
+  // (tl vs tl+1, auth flipped, ...) land in unrelated shards and buckets.
+  const std::uint64_t axes = (static_cast<std::uint64_t>(topology) << 62) |
+                             (static_cast<std::uint64_t>(authenticated) << 61) |
+                             (static_cast<std::uint64_t>(k) << 40) |
+                             (static_cast<std::uint64_t>(tl) << 20) |
+                             static_cast<std::uint64_t>(tr);
+  return hash_combine(splitmix64(axes), adversary_digest);
+}
+
+OracleCache::Verdict OracleCache::lookup(const OracleKey& key, const BsmConfig& cfg,
+                                         OracleCacheStats* counters) {
+  Shard& shard = shard_for(key.digest());
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) ++counters->hits;
+      return {it->second.solvable, it->second.protocol, /*hit=*/true};
+    }
+  }
+
+  // Miss: derive outside the lock (the oracle and factory are pure), then
+  // publish. A concurrent filler may beat us to the insert; its answer is
+  // identical by purity, so we keep ours and only count the lost insert.
+  Entry entry;
+  entry.solvable = solvable(cfg);
+  if (entry.solvable) entry.protocol = resolve_protocol(cfg);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  if (counters != nullptr) ++counters->misses;
+
+  bool inserted = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    inserted = shard.entries.try_emplace(key, entry).second;
+  }
+  if (inserted) {
+    shard.inserts.fetch_add(1, std::memory_order_relaxed);
+    if (counters != nullptr) ++counters->inserts;
+  }
+  return {entry.solvable, std::move(entry.protocol), /*hit=*/false};
+}
+
+OracleCacheStats OracleCache::stats() const noexcept {
+  OracleCacheStats total;
+  for (const Shard& shard : shards_) {
+    total.hits += shard.hits.load(std::memory_order_relaxed);
+    total.misses += shard.misses.load(std::memory_order_relaxed);
+    total.inserts += shard.inserts.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t OracleCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+void OracleCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+    shard.inserts.store(0, std::memory_order_relaxed);
+  }
+}
+
+OracleCache& OracleCache::global() {
+  static OracleCache cache;
+  return cache;
 }
 
 }  // namespace bsm::core

@@ -8,6 +8,7 @@ namespace {
 
 [[nodiscard]] ProtocolSpec spec_for(const RunSpec& spec) {
   if (spec.forced_spec.has_value()) return *spec.forced_spec;
+  if (spec.resolved_spec.has_value()) return *spec.resolved_spec;
   auto resolved = resolve_protocol(spec.config);
   require(resolved.has_value(), "run_bsm: configuration is unsolvable (per the paper); "
                                 "use forced_spec for attack experiments");

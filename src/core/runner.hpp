@@ -32,6 +32,12 @@ struct RunSpec {
 
   /// Attack experiments force a construction outside its validity region.
   std::optional<ProtocolSpec> forced_spec;
+
+  /// The construction the caller already resolved for `config` (e.g. served
+  /// from the sweep layer's OracleCache), so run_bsm() skips re-deriving
+  /// it. Must equal resolve_protocol(config); ignored when `forced_spec`
+  /// is set.
+  std::optional<ProtocolSpec> resolved_spec;
 };
 
 struct RunOutcome {

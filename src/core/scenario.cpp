@@ -4,9 +4,34 @@
 
 #include "adversary/shims.hpp"
 #include "adversary/strategies.hpp"
+#include "common/hash.hpp"
 #include "matching/generators.hpp"
 
 namespace bsm::core {
+
+OracleKey oracle_key(const ScenarioSpec& scenario) {
+  std::uint64_t adv = 0;
+  for (const auto& desc : scenario.adversaries) {
+    std::uint64_t packed = (static_cast<std::uint64_t>(desc.kind) << 56) |
+                           (static_cast<std::uint64_t>(desc.id) << 24) |
+                           (static_cast<std::uint64_t>(desc.when) << 8) |
+                           static_cast<std::uint64_t>(desc.crash_round & 0xff);
+    adv = hash_combine(adv, splitmix64(packed));
+  }
+  return OracleKey::from_config(scenario.config, adv);
+}
+
+const matching::PreferenceProfile& SweepArena::contested_profile(std::uint32_t k) {
+  for (const auto& [size, profile] : contested_) {
+    if (size == k) {
+      ++profile_hits_;
+      return profile;
+    }
+  }
+  ++profile_builds_;
+  contested_.emplace_back(k, matching::contested_profile(k));
+  return contested_.back().second;
+}
 
 void apply_battery(ScenarioSpec& spec, Battery battery, std::uint64_t salt_seed) {
   const auto& cfg = spec.config;
@@ -38,24 +63,35 @@ void apply_battery(ScenarioSpec& spec, Battery battery, std::uint64_t salt_seed)
 
 namespace {
 
+/// The contested (worst-case) profile for size k, via the worker's arena
+/// when one is supplied, built fresh otherwise. `local` is the caller's
+/// fallback storage so the returned reference always outlives the call.
+[[nodiscard]] const matching::PreferenceProfile& contested_for(
+    std::uint32_t k, SweepArena* arena, std::optional<matching::PreferenceProfile>& local) {
+  if (arena != nullptr) return arena->contested_profile(k);
+  return local.emplace(matching::contested_profile(k));
+}
+
 [[nodiscard]] std::unique_ptr<net::Process> materialize(const AdversaryDesc& desc,
                                                         const RunSpec& spec,
-                                                        const std::set<PartyId>& conspirators) {
+                                                        const std::set<PartyId>& conspirators,
+                                                        SweepArena* arena) {
   const std::uint32_t k = spec.config.k;
+  std::optional<matching::PreferenceProfile> local;
   switch (desc.kind) {
     case AdversaryDesc::Kind::Silent:
       return std::make_unique<adversary::Silent>();
     case AdversaryDesc::Kind::Noise:
       return std::make_unique<adversary::RandomNoise>(desc.seed, 3);
     case AdversaryDesc::Kind::Liar: {
-      const auto lie = matching::contested_profile(k);
+      const auto& lie = contested_for(k, arena, local);
       return honest_process_for(spec, desc.id, lie.list(desc.id));
     }
     case AdversaryDesc::Kind::Crash:
       return std::make_unique<adversary::CrashAt>(
           desc.crash_round, honest_process_for(spec, desc.id, spec.inputs.list(desc.id)));
     case AdversaryDesc::Kind::SplitBrainLiar: {
-      const auto lie = matching::contested_profile(k);
+      const auto& lie = contested_for(k, arena, local);
       return std::make_unique<adversary::SplitBrain>(
           honest_process_for(spec, desc.id, spec.inputs.list(desc.id)),
           honest_process_for(spec, desc.id, lie.list(desc.id)),
@@ -77,13 +113,15 @@ namespace {
 
 }  // namespace
 
-RunSpec to_run_spec(const ScenarioSpec& scenario) {
+RunSpec to_run_spec(const ScenarioSpec& scenario, SweepArena* arena,
+                    const std::optional<ProtocolSpec>& resolved) {
   RunSpec spec;
   spec.config = scenario.config;
   spec.inputs = matching::random_profile(scenario.config.k, scenario.input_seed);
   spec.pki_seed = scenario.pki_seed;
   spec.extra_rounds = scenario.extra_rounds;
   spec.forced_spec = scenario.forced_spec;
+  spec.resolved_spec = resolved;
 
   std::set<PartyId> conspirators;
   for (const auto& desc : scenario.adversaries) {
@@ -91,7 +129,7 @@ RunSpec to_run_spec(const ScenarioSpec& scenario) {
   }
   for (const auto& desc : scenario.adversaries) {
     require(desc.id < scenario.config.n(), "to_run_spec: adversary id out of range");
-    spec.adversaries.push_back({desc.id, desc.when, materialize(desc, spec, conspirators)});
+    spec.adversaries.push_back({desc.id, desc.when, materialize(desc, spec, conspirators, arena)});
   }
   return spec;
 }

@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/factory.hpp"
@@ -73,8 +75,44 @@ struct ScenarioSpec {
 /// `salt_seed` varies the noise RNG streams between repetitions.
 void apply_battery(ScenarioSpec& spec, Battery battery, std::uint64_t salt_seed);
 
+/// The cell's canonical setting identity for the OracleCache: the config
+/// axes plus a digest of the adversary structure — each corrupted party's
+/// (kind, id, corruption round, crash round), in order. Workload
+/// randomness (input/PKI/noise seeds) is excluded on purpose: cells that
+/// differ only in seeds are the same *setting* and share one cache entry.
+[[nodiscard]] OracleKey oracle_key(const ScenarioSpec& scenario);
+
+/// Per-worker scratch reused across every cell a sweep worker executes.
+/// Today it memoizes the contested (worst-case) preference profile per
+/// market size — rebuilt from scratch by every Liar/SplitBrain adversary
+/// otherwise — and is the hook for future per-worker pools (engine arenas,
+/// input buffers). Not thread-safe: one arena per worker, by construction.
+class SweepArena {
+ public:
+  /// `matching::contested_profile(k)`, built once per k per worker.
+  [[nodiscard]] const matching::PreferenceProfile& contested_profile(std::uint32_t k);
+
+  /// Profiles served from the arena vs built fresh (observability only).
+  [[nodiscard]] std::uint64_t profile_hits() const noexcept { return profile_hits_; }
+  [[nodiscard]] std::uint64_t profile_builds() const noexcept { return profile_builds_; }
+
+ private:
+  // std::list for reference stability: handed-out profiles stay valid for
+  // the arena's lifetime, however many sizes a mixed-k sweep interleaves.
+  std::list<std::pair<std::uint32_t, matching::PreferenceProfile>> contested_;
+  std::uint64_t profile_hits_ = 0;
+  std::uint64_t profile_builds_ = 0;
+};
+
 /// Materialize the live RunSpec (inputs + adversary processes) for a cell.
-[[nodiscard]] RunSpec to_run_spec(const ScenarioSpec& scenario);
+/// `arena`, when given, supplies memoized per-worker scratch (nullptr is
+/// always legal and simply builds everything fresh). `resolved`, when
+/// given, is the construction already resolved for the cell's config —
+/// e.g. served from the OracleCache — and is installed as
+/// RunSpec::resolved_spec up front, so neither adversary materialization
+/// nor run_bsm() re-derives it.
+[[nodiscard]] RunSpec to_run_spec(const ScenarioSpec& scenario, SweepArena* arena = nullptr,
+                                  const std::optional<ProtocolSpec>& resolved = std::nullopt);
 
 /// Cartesian grid of scenario cells over the canonical sweep axes. Empty
 /// `tls`/`trs` mean "0..k inclusive" (the full corruption-budget range).

@@ -1,0 +1,239 @@
+// The OracleCache's three contracts:
+//
+//  1. Accounting — hits/misses/inserts are exact: every lookup is counted,
+//     the first lookup of a key misses and inserts, repeats hit, and
+//     clear() zeroes both entries and counters.
+//  2. Keying — near-identical settings (one axis nudged, one adversary
+//     changed) get distinct keys and digests, while settings differing
+//     only in workload randomness (input/PKI/noise seeds) share one entry.
+//  3. Transparency — a sweep with the cache enabled is byte-identical to
+//     the same sweep with the cache bypassed (and to the closed-form
+//     oracle), under any schedule and thread count.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.hpp"
+#include "core/sweep.hpp"
+
+namespace bsm::core {
+namespace {
+
+[[nodiscard]] ScenarioSpec sample_scenario() {
+  SweepGrid grid;
+  grid.topologies = {net::TopologyKind::Bipartite};
+  grid.auths = {true};
+  grid.ks = {3};
+  grid.tls = {1};
+  grid.trs = {1};
+  grid.batteries = {Battery::Noise};
+  return grid.cells().front();
+}
+
+TEST(OracleCache, FirstLookupMissesAndInsertsRepeatsHit) {
+  OracleCache cache;
+  const auto scenario = sample_scenario();
+  const auto key = oracle_key(scenario);
+
+  OracleCacheStats local;
+  const auto first = cache.lookup(key, scenario.config, &local);
+  EXPECT_FALSE(first.hit);
+  EXPECT_EQ(first.solvable, solvable(scenario.config));
+  ASSERT_TRUE(first.protocol.has_value());
+  EXPECT_EQ(*first.protocol, *resolve_protocol(scenario.config));
+
+  const auto second = cache.lookup(key, scenario.config, &local);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.solvable, first.solvable);
+  EXPECT_EQ(second.protocol, first.protocol);
+
+  EXPECT_EQ(local.hits, 1U);
+  EXPECT_EQ(local.misses, 1U);
+  EXPECT_EQ(local.inserts, 1U);
+  EXPECT_EQ(cache.stats(), local) << "serial per-caller counters equal the cache's own";
+  EXPECT_EQ(cache.size(), 1U);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(OracleCache, UnsolvableSettingsAreCachedWithoutProtocol) {
+  OracleCache cache;
+  const BsmConfig cfg{net::TopologyKind::FullyConnected, false, 3, 3, 3};
+  const auto key = OracleKey::from_config(cfg);
+  const auto verdict = cache.lookup(key, cfg);
+  EXPECT_FALSE(verdict.solvable);
+  EXPECT_FALSE(verdict.protocol.has_value());
+  EXPECT_TRUE(cache.lookup(key, cfg).hit);
+}
+
+TEST(OracleCache, ClearDropsEntriesAndCounters) {
+  OracleCache cache;
+  const auto scenario = sample_scenario();
+  (void)cache.lookup(oracle_key(scenario), scenario.config);
+  ASSERT_EQ(cache.size(), 1U);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.stats(), OracleCacheStats{});
+  EXPECT_FALSE(cache.lookup(oracle_key(scenario), scenario.config).hit);
+}
+
+TEST(OracleKey, NearIdenticalSettingsGetDistinctKeysAndDigests) {
+  const auto base = sample_scenario();
+  std::vector<ScenarioSpec> variants(7, base);
+  variants[1].config.authenticated = false;
+  variants[2].config.topology = net::TopologyKind::OneSided;
+  variants[3].config.k = 4;
+  variants[4].config.tl = 2;
+  variants[5].config.tr = 0;
+  variants[6].adversaries[0].kind = AdversaryDesc::Kind::Silent;
+
+  std::set<std::uint64_t> digests;
+  for (const auto& v : variants) digests.insert(oracle_key(v).digest());
+  EXPECT_EQ(digests.size(), variants.size())
+      << "settings one nudge apart must not collide on the digest";
+
+  for (std::size_t i = 1; i < variants.size(); ++i) {
+    EXPECT_FALSE(oracle_key(variants[i]) == oracle_key(base)) << "variant " << i;
+  }
+}
+
+TEST(OracleKey, WorkloadSeedsDoNotChangeTheKey) {
+  auto a = sample_scenario();
+  auto b = a;
+  b.input_seed = a.input_seed + 17;
+  b.pki_seed = a.pki_seed + 5;
+  for (auto& desc : b.adversaries) desc.seed += 99;  // noise RNG stream
+
+  EXPECT_EQ(oracle_key(a), oracle_key(b))
+      << "cells differing only in workload randomness are the same setting";
+  EXPECT_EQ(oracle_key(a).digest(), oracle_key(b).digest());
+}
+
+TEST(OracleKey, AdversaryStructureIsPartOfTheKey) {
+  auto a = sample_scenario();
+  auto later = a;
+  later.adversaries[0].when = 3;  // adaptive corruption round
+  EXPECT_FALSE(oracle_key(a) == oracle_key(later));
+
+  auto fewer = a;
+  fewer.adversaries.pop_back();
+  EXPECT_FALSE(oracle_key(a) == oracle_key(fewer));
+}
+
+/// splitmix64 is a bijection; this is its published inverse.
+[[nodiscard]] std::uint64_t unsplitmix64(std::uint64_t x) {
+  x = (x ^ (x >> 31) ^ (x >> 62)) * 0x319642b2d24d8ec3ULL;
+  x = (x ^ (x >> 27) ^ (x >> 54)) * 0x96de1b173f119089ULL;
+  x = x ^ (x >> 30) ^ (x >> 60);
+  return x - 0x9e3779b97f4a7c15ULL;
+}
+
+TEST(OracleCache, DigestCollisionsAreDisambiguatedByTheFullKey) {
+  // Engineer a true 64-bit digest collision: hash_combine(a, b) =
+  // splitmix64(a ^ (b + K + (a << 6) + (a >> 2))) is, for fixed a, a
+  // bijection in b — so for a *different* setting we can solve for the
+  // adversary digest that reproduces the first key's digest exactly. The
+  // cache must disambiguate on full-key equality: same digest, same shard,
+  // same bucket, still two distinct entries and never a wrong verdict.
+  const BsmConfig cfg_a{net::TopologyKind::FullyConnected, true, 3, 1, 1};
+  const BsmConfig cfg_b{net::TopologyKind::FullyConnected, false, 3, 3, 3};
+  const auto key_a = OracleKey::from_config(cfg_a, /*adv_digest=*/7);
+  const std::uint64_t target = key_a.digest();
+
+  // Replicate digest()'s axes packing (the ASSERT below catches drift),
+  // then solve digest(key_b) == target for the adversary digest.
+  auto key_b = OracleKey::from_config(cfg_b, 0);
+  const std::uint64_t packed = (static_cast<std::uint64_t>(key_b.topology) << 62) |
+                               (static_cast<std::uint64_t>(key_b.authenticated) << 61) |
+                               (static_cast<std::uint64_t>(key_b.k) << 40) |
+                               (static_cast<std::uint64_t>(key_b.tl) << 20) |
+                               static_cast<std::uint64_t>(key_b.tr);
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t a = splitmix64(packed);
+  key_b.adversary_digest = (unsplitmix64(target) ^ a) - kGolden - (a << 6) - (a >> 2);
+  ASSERT_EQ(key_b.digest(), target) << "constructed collision";
+  ASSERT_FALSE(key_b == key_a);
+
+  OracleCache cache;
+  const auto verdict_a = cache.lookup(key_a, cfg_a);
+  const auto verdict_b = cache.lookup(key_b, cfg_b);
+  EXPECT_FALSE(verdict_b.hit) << "a colliding digest must not alias a different setting";
+  EXPECT_TRUE(verdict_a.solvable);
+  EXPECT_FALSE(verdict_b.solvable);
+  EXPECT_EQ(cache.size(), 2U);
+  EXPECT_TRUE(cache.lookup(key_a, cfg_a).hit);
+  EXPECT_TRUE(cache.lookup(key_b, cfg_b).hit);
+  EXPECT_FALSE(cache.lookup(key_b, cfg_b).solvable) << "each entry keeps its own verdict";
+}
+
+TEST(OracleCache, CacheOnAndCacheOffSweepsAreByteIdentical) {
+  SweepGrid grid;
+  grid.topologies = {net::TopologyKind::FullyConnected, net::TopologyKind::OneSided};
+  grid.auths = {false, true};
+  grid.ks = {2, 3};
+  grid.seeds = {1, 2};
+  grid.batteries = {Battery::Silent, Battery::Liars};
+  const auto cells = grid.cells();
+  ASSERT_GE(cells.size(), 128U);
+
+  OracleCache cache;
+  SweepOptions cached{.threads = 4};
+  cached.oracle = &cache;
+  SweepOptions uncached{.threads = 4};
+  uncached.oracle = nullptr;
+
+  SweepStats stats;
+  const auto with_cache = run_sweep(cells, cached, &stats);
+  const auto without = run_sweep(cells, uncached);
+
+  ASSERT_EQ(with_cache.size(), without.size());
+  for (std::size_t i = 0; i < with_cache.size(); ++i) {
+    EXPECT_EQ(with_cache[i].solvable, without[i].solvable);
+    ASSERT_EQ(with_cache[i].outcome.has_value(), without[i].outcome.has_value());
+    if (with_cache[i].outcome.has_value()) {
+      EXPECT_TRUE(*with_cache[i].outcome == *without[i].outcome)
+          << cells[i].config.describe();
+    }
+  }
+
+  EXPECT_EQ(stats.oracle.lookups(), cells.size()) << "every cell consults the oracle once";
+  EXPECT_GT(stats.oracle.hits, 0U) << "seeds repeat settings, so the cache must hit";
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(cache.stats().inserts));
+}
+
+TEST(OracleCache, ConcurrentHammeringStaysConsistent) {
+  // Many workers, few distinct settings: whatever the interleaving, every
+  // lookup is counted, every verdict matches the closed-form oracle, and
+  // the table holds exactly the distinct keys.
+  OracleCache cache;
+  SweepGrid grid;
+  grid.ks = {2, 3};
+  grid.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  grid.batteries = {Battery::Silent};
+  const auto cells = grid.cells();
+
+  const auto verdicts = run_cells(
+      cells,
+      [&cache](const ScenarioSpec& s) {
+        return static_cast<int>(cache.lookup(oracle_key(s), s.config).solvable);
+      },
+      {.threads = 8});
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(verdicts[i], static_cast<int>(solvable(cells[i].config)));
+  }
+
+  std::set<OracleKey, decltype([](const OracleKey& a, const OracleKey& b) {
+              return a.digest() < b.digest();
+            })>
+      distinct;
+  for (const auto& c : cells) distinct.insert(oracle_key(c));
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups(), cells.size());
+  EXPECT_EQ(cache.size(), distinct.size());
+  EXPECT_LE(stats.inserts, stats.misses) << "racing fillers lose inserts, never gain them";
+  EXPECT_GE(stats.misses, static_cast<std::uint64_t>(distinct.size()));
+}
+
+}  // namespace
+}  // namespace bsm::core

@@ -74,6 +74,106 @@ TEST(Sweep, UnsolvableCellsAreReportedNotRun) {
   EXPECT_TRUE(saw_unsolvable) << "unauthenticated k=3 must contain impossible cells";
 }
 
+/// A deliberately skewed grid, >= 128 cells: heavy large-k Liars cells
+/// first (so static partitioning dumps them all on the first worker),
+/// trivial k=2 cells after.
+[[nodiscard]] std::vector<ScenarioSpec> skewed_grid() {
+  SweepGrid heavy;
+  heavy.auths = {true};
+  heavy.ks = {5};
+  heavy.tls = {1};
+  heavy.trs = {1};
+  heavy.batteries = {Battery::Liars};
+  heavy.seeds.clear();
+  for (std::uint64_t s = 1; s <= 16; ++s) heavy.seeds.push_back(s);
+  auto cells = heavy.cells();
+
+  SweepGrid light;
+  light.auths = {true};
+  light.ks = {2};
+  light.tls = {1};
+  light.trs = {1};
+  light.batteries = {Battery::Silent, Battery::Noise, Battery::Liars,
+                     Battery::AdaptiveCrash};
+  light.seeds.clear();
+  for (std::uint64_t s = 1; s <= 28; ++s) light.seeds.push_back(s);
+  const auto trivial = light.cells();
+  cells.insert(cells.end(), trivial.begin(), trivial.end());
+  return cells;
+}
+
+TEST(Sweep, WorkStealingOnSkewedGridMatchesSerialByteForByte) {
+  const auto cells = skewed_grid();
+  ASSERT_GE(cells.size(), 128U) << "the skewed acceptance grid must have at least 128 cells";
+
+  SweepStats serial_stats;
+  SweepStats stealing_stats;
+  SweepStats static_stats;
+  const auto serial = run_sweep(cells, {.threads = 1}, &serial_stats);
+  const auto stealing =
+      run_sweep(cells, {.threads = 4, .schedule = Schedule::WorkStealing}, &stealing_stats);
+  const auto fixed =
+      run_sweep(cells, {.threads = 4, .schedule = Schedule::Static}, &static_stats);
+
+  ASSERT_EQ(serial.size(), stealing.size());
+  ASSERT_EQ(serial.size(), fixed.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].solvable, stealing[i].solvable);
+    ASSERT_EQ(serial[i].outcome.has_value(), stealing[i].outcome.has_value());
+    ASSERT_EQ(serial[i].outcome.has_value(), fixed[i].outcome.has_value());
+    if (!serial[i].outcome.has_value()) continue;
+    EXPECT_TRUE(*serial[i].outcome == *stealing[i].outcome)
+        << "stealing diverged at " << cells[i].config.describe();
+    EXPECT_TRUE(*serial[i].outcome == *fixed[i].outcome)
+        << "static diverged at " << cells[i].config.describe();
+  }
+
+  // Schedule-shape accounting: the serial fallback is one chunk on the
+  // calling thread; the stealing run deals multiple chunks per worker;
+  // the static run deals exactly one partition per worker and never
+  // steals. Steal counts are schedule-dependent (timing), so only their
+  // invariants are asserted, never an exact value.
+  EXPECT_EQ(serial_stats.threads, 1U);
+  EXPECT_EQ(serial_stats.chunks, 1U);
+  EXPECT_EQ(serial_stats.steals, 0U);
+  EXPECT_EQ(stealing_stats.threads, 4U);
+  EXPECT_GE(stealing_stats.chunks, 4U);
+  EXPECT_LE(stealing_stats.steals, stealing_stats.chunks);
+  EXPECT_EQ(static_stats.chunks, 4U);
+  EXPECT_EQ(static_stats.steals, 0U);
+  for (const auto* stats : {&serial_stats, &stealing_stats, &static_stats}) {
+    EXPECT_EQ(stats->cells, cells.size());
+    EXPECT_EQ(stats->oracle.lookups(), cells.size()) << "every cell consults the oracle once";
+  }
+  EXPECT_GT(stealing_stats.oracle.hits, 0U) << "seeds repeat settings, the cache must hit";
+}
+
+TEST(Sweep, TinyChunksForceStealsWithoutChangingResults) {
+  // chunk_cells = 1 with a single heavy prefix maximizes steal pressure;
+  // results must stay byte-identical to serial regardless.
+  const auto cells = skewed_grid();
+  const auto serial = run_sweep(cells, {.threads = 1});
+  SweepStats stats;
+  const auto stolen = run_sweep(cells, {.threads = 8, .chunk_cells = 1}, &stats);
+  EXPECT_EQ(stats.chunks, cells.size());
+  ASSERT_EQ(serial.size(), stolen.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].outcome.has_value(), stolen[i].outcome.has_value());
+    if (serial[i].outcome.has_value()) {
+      EXPECT_TRUE(*serial[i].outcome == *stolen[i].outcome);
+    }
+  }
+}
+
+TEST(Sweep, RunCellsHonorsStaticSchedule) {
+  std::vector<int> cells(257);
+  for (int i = 0; i < 257; ++i) cells[i] = i;
+  const auto tripled = run_cells(
+      cells, [](const int& x) { return 3 * x; },
+      {.threads = 4, .schedule = Schedule::Static});
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(tripled[i], 3 * i);
+}
+
 TEST(Sweep, RunCellsPreservesInputOrder) {
   std::vector<int> cells(100);
   for (int i = 0; i < 100; ++i) cells[i] = i;

@@ -57,10 +57,12 @@ run flags (exit 0 = all four bSM properties held, 1 = violation,
   --verbose                              print preference lists too
 
 sweep flags (enumerates the cartesian grid over every axis below, runs
-each cell on a thread pool, and prints one JSON document: per-cell
-topology/auth/k/tl/tr/seed, solvability, protocol, rounds, messages,
-bytes, and the four property verdicts, plus aggregate totals; exit 0 iff
-every solvable cell held all four properties):
+each cell on a work-stealing thread pool, and prints one JSON document:
+per-cell topology/auth/k/tl/tr/seed, solvability, protocol, rounds,
+messages, bytes, and the four property verdicts, plus aggregate totals,
+the scheduler shape (threads/chunks/steals), and the oracle-cache
+counters (hits/misses/inserts/hit_rate); exit 0 iff every solvable cell
+held all four properties):
   --topology LIST      comma list of fully,one-sided,bipartite (default all)
   --auth both|on|off   authentication axis             (default: both)
   --k LIST             comma list of market sizes      (default: 3)
@@ -68,6 +70,7 @@ every solvable cell held all four properties):
   --seeds N            workload seeds 1..N             (default: 2)
   --battery LIST       comma list of silent,noise,liars,adaptive (default all)
   --threads N          worker threads, 0 = hardware    (default: 0)
+  --schedule stealing|static  cell scheduler           (default: stealing)
 
 bench flags (runs every registered benchmark case group — the same cases
 the bench/ binaries run — and prints the versioned BENCH_results.json
@@ -124,7 +127,8 @@ int run_sweep_command(int argc, char** argv) {
       return 0;
     }
     if (arg != "--topology" && arg != "--auth" && arg != "--k" && arg != "--tl" &&
-        arg != "--tr" && arg != "--seeds" && arg != "--battery" && arg != "--threads") {
+        arg != "--tr" && arg != "--seeds" && arg != "--battery" && arg != "--threads" &&
+        arg != "--schedule") {
       std::cerr << "unknown sweep argument: " << arg << " (try --help)\n";
       return 2;
     }
@@ -194,6 +198,15 @@ int run_sweep_command(int argc, char** argv) {
           return 2;
         }
       }
+    } else if (arg == "--schedule") {
+      if (*value == "stealing") {
+        opts.schedule = core::Schedule::WorkStealing;
+      } else if (*value == "static") {
+        opts.schedule = core::Schedule::Static;
+      } else {
+        std::cerr << "unknown --schedule value: " << *value << " (stealing|static)\n";
+        return 2;
+      }
     } else {  // --threads, the only flag left after the known-flag gate above
       const auto parsed = parse_u64(*value);
       if (!parsed || *parsed > 1024) {
@@ -206,7 +219,8 @@ int run_sweep_command(int argc, char** argv) {
   grid.seeds.clear();
   for (std::uint64_t s = 1; s <= num_seeds; ++s) grid.seeds.push_back(s);
 
-  const auto results = core::run_sweep(grid.cells(), opts);
+  core::SweepStats stats;
+  const auto results = core::run_sweep(grid.cells(), opts, &stats);
 
   bool all_ok = true;
   std::size_t ran = 0;
@@ -235,8 +249,15 @@ int run_sweep_command(int argc, char** argv) {
     }
     std::cout << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
+  std::ostringstream hit_rate;
+  hit_rate << stats.oracle.hit_rate();
   std::cout << "  ],\n  \"total_cells\": " << results.size() << ",\n  \"ran\": " << ran
-            << ",\n  \"all_properties_held\": " << (all_ok ? "true" : "false") << "\n}\n";
+            << ",\n  \"scheduler\": {\"threads\": " << stats.threads
+            << ", \"chunks\": " << stats.chunks << ", \"steals\": " << stats.steals
+            << "},\n  \"oracle_cache\": {\"hits\": " << stats.oracle.hits
+            << ", \"misses\": " << stats.oracle.misses << ", \"inserts\": " << stats.oracle.inserts
+            << ", \"hit_rate\": " << hit_rate.str()
+            << "},\n  \"all_properties_held\": " << (all_ok ? "true" : "false") << "\n}\n";
   return all_ok ? 0 : 1;
 }
 

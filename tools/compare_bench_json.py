@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_results.json files (schema in docs/BENCHMARKS.md).
+
+Usage: compare_bench_json.py BASELINE CURRENT [--markdown] [--threshold PCT]
+
+Joins cases by name and reports, per case present in both: baseline vs
+current median wall time, the delta in percent, and whether the digest
+changed (a digest change means the workload's observable output changed —
+expected when the case was modified, alarming otherwise). Cases only in one
+file are listed as added/removed. With --markdown the table is emitted as
+GitHub-flavored markdown (what CI appends to the job summary).
+
+This tool is REPORT-ONLY about performance: medians from different machines,
+containers, or thread counts are not comparable enough to gate a merge, so
+regressions never affect the exit code. Exit status:
+  0  both files schema-valid, comparison printed
+  1  either file fails schema validation (the only failure mode)
+  2  usage error
+"""
+import json
+import sys
+
+from validate_bench_json import validate
+
+THRESHOLD_DEFAULT = 10.0  # flag deltas beyond +/-10% with a marker
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, [f"{path}: {e}"]
+    errors = [f"{path}: {e}" for e in validate(doc)]
+    return doc, errors
+
+
+def fmt_ms(v):
+    return f"{v:.3f}"
+
+
+def compare(base, cur, threshold):
+    base_cases = {c["name"]: c for c in base.get("cases", [])}
+    cur_cases = {c["name"]: c for c in cur.get("cases", [])}
+
+    rows = []
+    for name in sorted(base_cases.keys() & cur_cases.keys()):
+        b, c = base_cases[name], cur_cases[name]
+        delta = 0.0
+        if b["median_ms"] > 0:
+            delta = (c["median_ms"] - b["median_ms"]) / b["median_ms"] * 100.0
+        marker = ""
+        if abs(delta) > threshold:
+            marker = "slower" if delta > 0 else "faster"
+        digest = "same" if b["digest"] == c["digest"] else "CHANGED"
+        ok = "ok" if c.get("ok") and c.get("deterministic") else "FAIL"
+        rows.append((name, fmt_ms(b["median_ms"]), fmt_ms(c["median_ms"]),
+                     f"{delta:+.1f}%", marker, digest, ok))
+    added = sorted(cur_cases.keys() - base_cases.keys())
+    removed = sorted(base_cases.keys() - cur_cases.keys())
+    return rows, added, removed
+
+
+def render_text(rows, added, removed, base, cur):
+    out = [f"baseline git {base.get('git_sha')} ({base.get('threads')} threads) vs "
+           f"current git {cur.get('git_sha')} ({cur.get('threads')} threads)"]
+    if rows:
+        widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+        header = ("case", "base ms", "cur ms", "delta", "", "digest", "verdict")
+        widths = [max(w, len(h)) for w, h in zip(widths, header)]
+        out.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for r in rows:
+            out.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    for name in added:
+        out.append(f"added:   {name} (no baseline)")
+    if removed:
+        # One summary line: a filtered current run (e.g. CI's smoke slice vs
+        # the full-suite seed) would otherwise drown the table in rows.
+        out.append(f"baseline-only: {len(removed)} case(s) not in the current run "
+                   f"(first: {removed[0]})")
+    return "\n".join(out)
+
+
+def render_markdown(rows, added, removed, base, cur):
+    out = ["### Bench regression report",
+           "",
+           f"Baseline `{base.get('git_sha')}` ({base.get('threads')} threads) vs "
+           f"current `{cur.get('git_sha')}` ({cur.get('threads')} threads). "
+           "Report-only: medians across machines are indicative, not gating.",
+           "",
+           "| case | base ms | cur ms | delta | | digest | verdict |",
+           "|---|---:|---:|---:|---|---|---|"]
+    for r in rows:
+        out.append("| " + " | ".join(("`" + r[0] + "`",) + r[1:]) + " |")
+    for name in added:
+        out.append(f"| `{name}` | — | new | | | | |")
+    if removed:
+        out.append("")
+        out.append(f"{len(removed)} baseline case(s) not in the current run "
+                   "(filtered or removed).")
+    return "\n".join(out)
+
+
+def main(argv):
+    markdown = False
+    threshold = THRESHOLD_DEFAULT
+    paths = []
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--markdown":
+            markdown = True
+        elif a == "--threshold":
+            try:
+                threshold = float(next(it))
+            except (StopIteration, ValueError):
+                print("--threshold needs a number", file=sys.stderr)
+                return 2
+        elif a.startswith("--"):
+            print(f"unknown flag: {a}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base, base_errors = load(paths[0])
+    cur, cur_errors = load(paths[1])
+    for e in base_errors + cur_errors:
+        print(f"SCHEMA MISMATCH: {e}", file=sys.stderr)
+    if base_errors or cur_errors:
+        return 1
+
+    rows, added, removed = compare(base, cur, threshold)
+    render = render_markdown if markdown else render_text
+    print(render(rows, added, removed, base, cur))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)
