@@ -1,0 +1,11 @@
+// The flat broadcast-kernel microbenchmarks: TallyArena hot loop,
+// devirtualized quorum predicates, and Dolev-Strong chain verification
+// with the VerifiedChainCache disabled vs enabled. Case logic:
+// bench/cases/cases_broadcast.cpp; compare medians at --repeats 5.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
+
+int main(int argc, char** argv) {
+  bsm::benchcases::register_broadcast_kernel();
+  return bsm::core::bench_main(argc, argv);
+}

@@ -22,6 +22,7 @@ void register_bsm_end_to_end();       // E8  — per-construction cost
 void register_channel_simulation();   // E2  — virtual channel cost
 void register_sweep_scheduler();      // work-stealing vs static partitioning
 void register_oracle_cache();         // memoized solvability oracle
+void register_broadcast_kernel();     // flat tally/quorum/verify kernel
 
 /// Register every group (the full suite, in E-number order).
 void register_all();

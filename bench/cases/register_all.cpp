@@ -17,6 +17,7 @@ void register_all() {
   register_lemma3();
   register_sweep_scheduler();
   register_oracle_cache();
+  register_broadcast_kernel();
 }
 
 }  // namespace bsm::benchcases

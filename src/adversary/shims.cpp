@@ -50,6 +50,7 @@ void SplitBrain::on_round(net::Context& ctx, net::Inbox inbox) {
       if (auto unwrapped = unwrap_world(env.payload)) {
         auto tagged = env;
         tagged.payload = std::move(unwrapped->second);
+        tagged.payload_digest = 0;  // digest covered the wrapped bytes
         world_inbox[unwrapped->first].push_back(std::move(tagged));
       }
       continue;

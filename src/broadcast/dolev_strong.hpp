@@ -9,34 +9,89 @@
 //
 // Signatures bind (channel, value, prefix of signers), so chains cannot be
 // replayed across concurrently running broadcast instances.
+//
+// Hot-path structure: chains for an already-extracted value are skipped
+// before any cryptography (re-verifying them had no observable effect);
+// each surviving signature is verified at most once per instance through
+// the VerifiedChainCache; the signed message bytes are built in one scratch
+// buffer that re-extends a cached (channel, value) prefix instead of
+// re-encoding it per position; and relayed chains are produced by patching
+// the received frame (bump the count, append one signature) rather than
+// re-encoding the whole chain. All of it is transcript-preserving: the same
+// messages are sent, byte for byte, as the seed implementation.
 #pragma once
 
-#include <set>
 #include <vector>
 
 #include "broadcast/instance.hpp"
+#include "broadcast/verify_cache.hpp"
+#include "common/party_set.hpp"
 #include "crypto/pki.hpp"
 
 namespace bsm::broadcast {
 
 class DolevStrong final : public Instance {
  public:
-  DolevStrong(PartyId sender, std::uint32_t t, Bytes input_if_sender);
+  /// `use_verify_cache` exists for the differential tests and the
+  /// cold-verify benchmark; production callers leave it on.
+  DolevStrong(PartyId sender, std::uint32_t t, Bytes input_if_sender,
+              bool use_verify_cache = true);
 
   void step(InstanceIo& io, std::uint32_t s, const std::vector<net::AppMsg>& inbox) override;
 
   /// Decides at step t + 1.
   [[nodiscard]] std::uint32_t duration() const override { return t_ + 1; }
 
+  /// Signatures verified cryptographically vs served from the cache
+  /// (observability for tests and benchmarks).
+  [[nodiscard]] std::uint64_t verifies() const noexcept { return verifies_; }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+
  private:
   /// Digest signed by the j-th chain member: the value plus all prior signers.
   [[nodiscard]] static Bytes chain_digest(std::uint32_t channel, const Bytes& value,
                                           const std::vector<PartyId>& prior_signers);
 
+  /// Distinct values pooled (and thus verify-cached) per instance. Honest
+  /// executions see at most two; the cap bounds the memory and the linear
+  /// pool scan under distinct-value chain spam — overflow values fall back
+  /// to the seed's transient, uncached verification path.
+  static constexpr std::size_t kMaxPooledValues = 64;
+  static constexpr std::uint32_t kNotPooled = UINT32_MAX;
+
+  /// Canonical index of `value` in the instance's value pool (digest lookup
+  /// disambiguated by full-bytes equality); creates the entry — and its
+  /// encoded (channel, value) scratch prefix — on first sight. kNotPooled
+  /// when the pool is full and the value is not already in it.
+  [[nodiscard]] std::uint32_t pool_index(std::uint32_t channel, const Bytes& value);
+
+  /// Scratch-encode the message signed at position j of a chain over the
+  /// pooled value: the cached prefix re-extended in place (Writer::
+  /// truncate) with u32_vec(signers[0..j)). Returns the buffer.
+  [[nodiscard]] const Bytes& signed_msg(std::uint32_t value_idx,
+                                        const std::vector<PartyId>& signers, std::uint32_t j);
+
   PartyId sender_;
   std::uint32_t t_;
   Bytes input_;
-  std::set<Bytes> extracted_;
+  bool use_verify_cache_;
+  std::vector<Bytes> extracted_;  ///< accepted values; capped at 2 (equivocation proof)
+
+  struct PooledValue {
+    std::uint64_t digest = 0;
+    Bytes value;
+    Bytes prefix;  ///< encoded "dolev-strong" | channel | value
+  };
+  std::vector<PooledValue> pool_;
+
+  VerifiedChainCache cache_;
+  core::PartySet participants_;  ///< bitset of io.participants(), built on first use
+  core::PartySet distinct_;      ///< per-message scratch
+  Writer msg_scratch_;           ///< signed-message encode buffer (prefix + extension)
+  std::uint32_t scratch_value_ = kNotPooled;  ///< value whose prefix msg_scratch_ holds
+  std::size_t scratch_prefix_len_ = 0;
+  std::uint64_t verifies_ = 0;
+  std::uint64_t cache_hits_ = 0;
 };
 
 }  // namespace bsm::broadcast

@@ -14,7 +14,7 @@ void InstanceIo::send(PartyId to, const Bytes& inner) {
 }
 
 void InstanceIo::broadcast(const Bytes& inner) {
-  for (PartyId p : *participants_) hub_->send_on_channel(*ctx_, channel_, p, inner);
+  hub_->broadcast_on_channel(*ctx_, channel_, *participants_, inner);
 }
 
 PartyId InstanceIo::self() const { return ctx_->self(); }
@@ -30,22 +30,30 @@ void InstanceHub::add_instance(std::uint32_t channel, Round base,
                                std::vector<PartyId> participants,
                                std::unique_ptr<Instance> instance) {
   require(instance != nullptr, "InstanceHub::add_instance: null instance");
-  require(!entries_.contains(channel) && !mailboxes_.contains(channel),
+  require(entry_at(channel) == nullptr &&
+              (channel >= mailboxes_.size() || mailboxes_[channel] == nullptr),
           "InstanceHub::add_instance: duplicate channel");
-  entries_.emplace(channel,
-                   Entry{base, std::move(participants), std::move(instance), {}});
+  if (channel >= entries_.size()) entries_.resize(channel + 1);
+  auto entry = std::make_unique<Entry>();
+  entry->base = base;
+  entry->participants = std::move(participants);
+  for (PartyId p : entry->participants) entry->participant_mask.insert(p);
+  entry->instance = std::move(instance);
+  entries_[channel] = std::move(entry);
 }
 
 void InstanceHub::add_mailbox(std::uint32_t channel) {
-  require(!entries_.contains(channel) && !mailboxes_.contains(channel),
+  require(entry_at(channel) == nullptr &&
+              (channel >= mailboxes_.size() || mailboxes_[channel] == nullptr),
           "InstanceHub::add_mailbox: duplicate channel");
-  mailboxes_.emplace(channel, std::vector<net::AppMsg>{});
+  if (channel >= mailboxes_.size()) mailboxes_.resize(channel + 1);
+  mailboxes_[channel] = std::make_unique<std::vector<net::AppMsg>>();
 }
 
 std::vector<net::AppMsg> InstanceHub::take_mailbox(std::uint32_t channel) {
-  auto it = mailboxes_.find(channel);
-  require(it != mailboxes_.end(), "InstanceHub::take_mailbox: unknown mailbox");
-  return std::exchange(it->second, {});
+  require(channel < mailboxes_.size() && mailboxes_[channel] != nullptr,
+          "InstanceHub::take_mailbox: unknown mailbox");
+  return std::exchange(*mailboxes_[channel], {});
 }
 
 void InstanceHub::send_on_channel(net::Context& ctx, std::uint32_t channel, PartyId to,
@@ -54,6 +62,17 @@ void InstanceHub::send_on_channel(net::Context& ctx, std::uint32_t channel, Part
   w.u32(channel);
   w.bytes(inner);
   router_.send(ctx, to, w.data());
+}
+
+void InstanceHub::broadcast_on_channel(net::Context& ctx, std::uint32_t channel,
+                                       const std::vector<PartyId>& participants,
+                                       const Bytes& inner) {
+  // One frame encode for the whole broadcast; recipients receive the same
+  // bytes in the same order as the per-recipient encode they replace.
+  Writer w;
+  w.u32(channel);
+  w.bytes(inner);
+  router_.broadcast(ctx, participants, w.data());
 }
 
 void InstanceHub::send_raw(net::Context& ctx, std::uint32_t channel, PartyId to,
@@ -65,16 +84,19 @@ void InstanceHub::ingest(net::Context& ctx, net::Inbox inbox) {
   for (net::AppMsg& msg : router_.route(ctx, inbox)) {
     Reader r(msg.body);
     const std::uint32_t channel = r.u32();
-    Bytes inner = r.bytes();
+    (void)r.bytes_view();
     if (!r.done()) continue;  // malformed frame: drop
 
-    if (auto it = entries_.find(channel); it != entries_.end()) {
+    // Strip the 8-byte frame header (u32 channel + u32 length) in place —
+    // a memmove on the buffer we already own instead of a fresh copy.
+    msg.body.erase(msg.body.begin(), msg.body.begin() + 8);
+
+    if (Entry* entry = entry_at(channel); entry != nullptr) {
       // Only participants may speak on an instance's channel.
-      const auto& parts = it->second.participants;
-      if (std::find(parts.begin(), parts.end(), msg.from) == parts.end()) continue;
-      it->second.buffer.push_back(net::AppMsg{msg.from, std::move(inner)});
-    } else if (auto mb = mailboxes_.find(channel); mb != mailboxes_.end()) {
-      mb->second.push_back(net::AppMsg{msg.from, std::move(inner)});
+      if (!entry->participant_mask.contains(msg.from)) continue;
+      entry->buffer.push_back(net::AppMsg{msg.from, std::move(msg.body)});
+    } else if (channel < mailboxes_.size() && mailboxes_[channel] != nullptr) {
+      mailboxes_[channel]->push_back(net::AppMsg{msg.from, std::move(msg.body)});
     }
     // Unknown channel: drop.
   }
@@ -82,31 +104,34 @@ void InstanceHub::ingest(net::Context& ctx, net::Inbox inbox) {
 
 void InstanceHub::step_due(net::Context& ctx) {
   const Round now = ctx.round();
-  for (auto& [channel, entry] : entries_) {
-    if (now < entry.base || (now - entry.base) % stride_ != 0) continue;
-    const std::uint32_t s = (now - entry.base) / stride_;
-    std::vector<net::AppMsg> inbox = std::exchange(entry.buffer, {});
-    if (entry.instance->done() || s > entry.instance->duration()) continue;
-    InstanceIo io(*this, ctx, channel, entry.participants);
-    entry.instance->step(io, s, inbox);
+  for (std::uint32_t channel = 0; channel < entries_.size(); ++channel) {
+    Entry* entry = entries_[channel].get();
+    if (entry == nullptr) continue;
+    if (now < entry->base || (now - entry->base) % stride_ != 0) continue;
+    const std::uint32_t s = (now - entry->base) / stride_;
+    std::vector<net::AppMsg> inbox = std::exchange(entry->buffer, {});
+    if (entry->instance->done() || s > entry->instance->duration()) continue;
+    InstanceIo io(*this, ctx, channel, entry->participants);
+    entry->instance->step(io, s, inbox);
   }
 }
 
 bool InstanceHub::all_done() const {
-  return std::all_of(entries_.begin(), entries_.end(),
-                     [](const auto& kv) { return kv.second.instance->done(); });
+  return std::all_of(entries_.begin(), entries_.end(), [](const auto& entry) {
+    return entry == nullptr || entry->instance->done();
+  });
 }
 
 Instance& InstanceHub::instance(std::uint32_t channel) {
-  auto it = entries_.find(channel);
-  require(it != entries_.end(), "InstanceHub::instance: unknown channel");
-  return *it->second.instance;
+  Entry* entry = entry_at(channel);
+  require(entry != nullptr, "InstanceHub::instance: unknown channel");
+  return *entry->instance;
 }
 
 const Instance& InstanceHub::instance(std::uint32_t channel) const {
-  auto it = entries_.find(channel);
-  require(it != entries_.end(), "InstanceHub::instance: unknown channel");
-  return *it->second.instance;
+  const Entry* entry = entry_at(channel);
+  require(entry != nullptr, "InstanceHub::instance: unknown channel");
+  return *entry->instance;
 }
 
 }  // namespace bsm::broadcast

@@ -15,12 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/codec.hpp"
+#include "common/party_set.hpp"
 #include "common/types.hpp"
 #include "net/process.hpp"
 #include "net/relay.hpp"
@@ -115,18 +115,34 @@ class InstanceHub {
  private:
   friend class InstanceIo;
   void send_on_channel(net::Context& ctx, std::uint32_t channel, PartyId to, const Bytes& inner);
+  /// Encode the channel frame once and send it to every participant.
+  void broadcast_on_channel(net::Context& ctx, std::uint32_t channel,
+                            const std::vector<PartyId>& participants, const Bytes& inner);
 
   struct Entry {
     Round base = 0;
     std::vector<PartyId> participants;
+    core::PartySet participant_mask;  ///< same set, O(1) ingest filtering
     std::unique_ptr<Instance> instance;
     std::vector<net::AppMsg> buffer;
   };
 
+  [[nodiscard]] Entry* entry_at(std::uint32_t channel) noexcept {
+    return channel < entries_.size() ? entries_[channel].get() : nullptr;
+  }
+  [[nodiscard]] const Entry* entry_at(std::uint32_t channel) const noexcept {
+    return channel < entries_.size() ? entries_[channel].get() : nullptr;
+  }
+
   net::RelayRouter router_;
   std::uint32_t stride_;
-  std::map<std::uint32_t, Entry> entries_;
-  std::map<std::uint32_t, std::vector<net::AppMsg>> mailboxes_;
+  // Channel ids are small and dense (one per sender plus a couple of
+  // control channels), so both tables are flat vectors indexed by channel —
+  // the per-message map lookups of the node-based hub were a measurable
+  // slice of the ingest hot path. Iteration by ascending index preserves
+  // the old std::map stepping order exactly.
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<std::vector<net::AppMsg>>> mailboxes_;
 };
 
 }  // namespace bsm::broadcast

@@ -1,7 +1,5 @@
 #include "broadcast/omission_ba.hpp"
 
-#include <map>
-
 #include "broadcast/wire.hpp"
 
 namespace bsm::broadcast {
@@ -22,17 +20,11 @@ void OmissionBA::step(InstanceIo& io, std::uint32_t s, const std::vector<net::Ap
   }
 
   // Closing step: accept z iff the non-echoers could all be corrupt.
-  std::map<Bytes, std::set<PartyId>> by_value;
-  std::set<PartyId> seen;
-  for (const auto& msg : inbox) {
-    const auto kv = decode_kv(msg.body);
-    if (!kv || kv->kind != MsgKind::Final || seen.contains(msg.from)) continue;
-    seen.insert(msg.from);
-    by_value[kv->value].insert(msg.from);
-  }
-  for (const auto& [value, senders] : by_value) {
-    if (quorums_->complement_corruptible(senders)) {
-      decide(value);
+  tally_.build(inbox, MsgKind::Final);
+  for (const std::uint32_t idx : tally_.ordered()) {
+    const auto& bucket = tally_.bucket(idx);
+    if (quorums_->complement_corruptible(bucket.senders)) {
+      decide(bucket.value);
       return;
     }
   }

@@ -27,6 +27,7 @@ class OmissionBA final : public Instance {
  private:
   PhaseKingBA inner_;
   std::shared_ptr<const Quorums> quorums_;
+  TallyArena tally_;  ///< closing-echo tally scratch
 };
 
 }  // namespace bsm::broadcast

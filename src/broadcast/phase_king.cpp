@@ -1,29 +1,8 @@
 #include "broadcast/phase_king.hpp"
 
-#include <map>
-
 #include "broadcast/wire.hpp"
 
 namespace bsm::broadcast {
-
-namespace {
-
-/// Group same-kind messages by value, deduplicating senders (a byzantine
-/// party's first message of the kind is the one that counts).
-[[nodiscard]] std::map<Bytes, std::set<PartyId>> tally(const std::vector<net::AppMsg>& inbox,
-                                                       MsgKind kind) {
-  std::map<Bytes, std::set<PartyId>> by_value;
-  std::set<PartyId> seen;
-  for (const auto& msg : inbox) {
-    const auto kv = decode_kv(msg.body);
-    if (!kv || kv->kind != kind || seen.contains(msg.from)) continue;
-    seen.insert(msg.from);
-    by_value[kv->value].insert(msg.from);
-  }
-  return by_value;
-}
-
-}  // namespace
 
 PhaseKingBA::PhaseKingBA(Bytes input, std::shared_ptr<const Quorums> quorums)
     : v_(std::move(input)), quorums_(std::move(quorums)) {
@@ -63,9 +42,11 @@ void PhaseKingBA::step(InstanceIo& io, std::uint32_t s, const std::vector<net::A
   if (sub == 1) {
     // Propose the (unique, given the quorum condition) value whose senders'
     // complement could be entirely corrupt.
-    for (const auto& [value, senders] : tally(inbox, MsgKind::Value)) {
-      if (quorums_->complement_corruptible(senders)) {
-        io.broadcast(encode_kv(MsgKind::Propose, value));
+    tally_.build(inbox, MsgKind::Value);
+    for (const std::uint32_t idx : tally_.ordered()) {
+      const auto& bucket = tally_.bucket(idx);
+      if (quorums_->complement_corruptible(bucket.senders)) {
+        io.broadcast(encode_kv(MsgKind::Propose, bucket.value));
         break;
       }
     }
@@ -75,10 +56,12 @@ void PhaseKingBA::step(InstanceIo& io, std::uint32_t s, const std::vector<net::A
   // sub == 2: adopt a proposal that must include an honest proposer; note
   // whether its support was strong enough to ignore the king.
   strong_ = false;
-  for (const auto& [value, proposers] : tally(inbox, MsgKind::Propose)) {
-    if (quorums_->has_honest(proposers)) {
-      v_ = value;
-      strong_ = quorums_->complement_corruptible(proposers);
+  tally_.build(inbox, MsgKind::Propose);
+  for (const std::uint32_t idx : tally_.ordered()) {
+    const auto& bucket = tally_.bucket(idx);
+    if (quorums_->has_honest(bucket.senders)) {
+      v_ = bucket.value;
+      strong_ = quorums_->complement_corruptible(bucket.senders);
       break;
     }
   }

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <memory>
-#include <set>
 
 #include "broadcast/instance.hpp"
 #include "broadcast/quorums.hpp"
+#include "broadcast/tally.hpp"
 
 namespace bsm::broadcast {
 
@@ -37,6 +37,7 @@ class PhaseKingBA final : public Instance {
   Bytes v_;
   bool strong_ = false;
   std::shared_ptr<const Quorums> quorums_;
+  TallyArena tally_;  ///< per-instance scratch, reused every sub-round
 };
 
 }  // namespace bsm::broadcast

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "common/codec.hpp"
 #include "common/types.hpp"
@@ -38,6 +39,24 @@ struct KvMsg {
   Bytes value = r.bytes();
   if (!r.done() || kind < 1 || kind > 6) return std::nullopt;
   return KvMsg{static_cast<MsgKind>(kind), std::move(value)};
+}
+
+/// Zero-copy variant of KvMsg: `value` borrows from the decoded body, so it
+/// is valid only while that buffer is alive and unmodified. The tally hot
+/// loop uses this to classify messages without one allocation per message.
+struct KvView {
+  MsgKind kind;
+  std::span<const std::uint8_t> value;
+};
+
+/// Decode {kind, value} as a view; accepts and rejects exactly the same
+/// inputs as decode_kv (the tally differential tests rely on it).
+[[nodiscard]] inline std::optional<KvView> decode_kv_view(const Bytes& body) {
+  Reader r(body);
+  const auto kind = r.u8();
+  const auto value = r.bytes_view();
+  if (!r.done() || kind < 1 || kind > 6) return std::nullopt;
+  return KvView{static_cast<MsgKind>(kind), value};
 }
 
 }  // namespace bsm::broadcast

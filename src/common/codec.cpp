@@ -14,13 +14,9 @@ std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept {
 
 void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
 
-void Writer::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
+void Writer::u32(std::uint32_t v) { append_u32_le(buf_, v); }
 
-void Writer::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
+void Writer::u64(std::uint64_t v) { append_u64_le(buf_, v); }
 
 void Writer::bytes(const Bytes& b) {
   u32(static_cast<std::uint32_t>(b.size()));
@@ -71,6 +67,14 @@ Bytes Reader::bytes() {
   if (!take(n)) return {};
   Bytes out(buf_->begin() + static_cast<std::ptrdiff_t>(pos_),
             buf_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::span<const std::uint8_t> Reader::bytes_view() {
+  const std::uint32_t n = u32();
+  if (!take(n)) return {};
+  std::span<const std::uint8_t> out(buf_->data() + pos_, n);
   pos_ += n;
   return out;
 }

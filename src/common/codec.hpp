@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +21,33 @@ namespace bsm {
 /// rejects junk, signs, and overflow (std::stoul would accept "-1" as
 /// 2^64-1 and throw on "abc").
 [[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept;
+
+/// Append one integer in the codec's wire order (little-endian) to a raw
+/// buffer — the single definition shared by Writer and the frame-patching
+/// hot paths, so the byte order lives in exactly one place. One insert
+/// (a single capacity check) instead of per-byte push_backs.
+inline void append_u32_le(Bytes& b, std::uint32_t v) {
+  const std::uint8_t raw[4] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+                               static_cast<std::uint8_t>(v >> 16),
+                               static_cast<std::uint8_t>(v >> 24)};
+  b.insert(b.end(), raw, raw + 4);
+}
+inline void append_u64_le(Bytes& b, std::uint64_t v) {
+  const std::uint8_t raw[8] = {
+      static_cast<std::uint8_t>(v),       static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24),
+      static_cast<std::uint8_t>(v >> 32), static_cast<std::uint8_t>(v >> 40),
+      static_cast<std::uint8_t>(v >> 48), static_cast<std::uint8_t>(v >> 56)};
+  b.insert(b.end(), raw, raw + 8);
+}
+
+/// Overwrite an already-encoded u32 in place (frame patching); the caller
+/// guarantees `off + 4 <= b.size()`.
+inline void store_u32_le(Bytes& b, std::size_t off, std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    b[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
 
 /// Append-only serializer.
 class Writer {
@@ -35,6 +63,13 @@ class Writer {
   [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
   [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
 
+  /// Rewind to `n` bytes, keeping capacity — lets hot paths re-extend one
+  /// scratch buffer from a fixed prefix instead of re-encoding it.
+  void truncate(std::size_t n) noexcept {
+    if (n < buf_.size()) buf_.resize(n);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
  private:
   Bytes buf_;
 };
@@ -48,6 +83,9 @@ class Reader {
   [[nodiscard]] std::uint32_t u32();
   [[nodiscard]] std::uint64_t u64();
   [[nodiscard]] Bytes bytes();
+  /// Like bytes(), but a borrowed view into the buffer — no allocation.
+  /// Valid only while the underlying buffer is alive and unmodified.
+  [[nodiscard]] std::span<const std::uint8_t> bytes_view();
   [[nodiscard]] std::vector<std::uint32_t> u32_vec();
   [[nodiscard]] std::string str();
 

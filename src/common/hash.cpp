@@ -5,6 +5,10 @@
 namespace bsm {
 
 std::uint64_t fnv1a64(const Bytes& data) noexcept {
+  return fnv1a64(std::span<const std::uint8_t>(data.data(), data.size()));
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (std::uint8_t b : data) {
     h ^= b;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/types.hpp"
@@ -13,6 +14,7 @@ namespace bsm {
 
 /// FNV-1a over a byte buffer.
 [[nodiscard]] std::uint64_t fnv1a64(const Bytes& data) noexcept;
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> data) noexcept;
 
 /// splitmix64 finalizer; good bit mixing for combining hashes and seeding.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;

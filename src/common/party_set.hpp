@@ -1,0 +1,124 @@
+// Flat bitset over party ids — the allocation-free replacement for
+// std::set<PartyId> in every broadcast inner loop.
+//
+// A PartySet is a vector of 64-bit words; membership is one shift+mask,
+// cardinality is a popcount sweep, and the side-restricted counts the
+// product adversary structure needs ("how many of these holders are on
+// side L?") are popcounts over an AND with a precomputed side mask. The
+// containers it replaces were rebuilt every protocol round; a PartySet is
+// cleared in O(words) and reused, so the tally/quorum hot path performs
+// zero allocations in steady state (words_ reaches the instance's party
+// count once and stays there).
+//
+// Iteration order is ascending id (countr_zero sweep), which matches the
+// iteration order of the std::set<PartyId> it replaces — any code that was
+// order-sensitive stays byte-identical.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bsm::core {
+
+class PartySet {
+ public:
+  PartySet() = default;
+
+  /// Pre-size for ids [0, n) so inserts in range never reallocate.
+  explicit PartySet(std::uint32_t n) : words_((n + 63) / 64, 0) {}
+
+  PartySet(std::initializer_list<PartyId> ids) {
+    for (PartyId p : ids) insert(p);
+  }
+
+  /// The full set {0, ..., n-1}.
+  [[nodiscard]] static PartySet universe(std::uint32_t n) { return range(0, n); }
+
+  /// The contiguous set {lo, ..., hi-1} (a side mask, e.g. [k, 2k)).
+  [[nodiscard]] static PartySet range(std::uint32_t lo, std::uint32_t hi) {
+    PartySet s(hi);
+    for (std::uint32_t p = lo; p < hi; ++p) s.insert(p);
+    return s;
+  }
+
+  void insert(PartyId p) {
+    const std::size_t w = p >> 6;
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    words_[w] |= std::uint64_t{1} << (p & 63);
+  }
+
+  void erase(PartyId p) noexcept {
+    const std::size_t w = p >> 6;
+    if (w < words_.size()) words_[w] &= ~(std::uint64_t{1} << (p & 63));
+  }
+
+  [[nodiscard]] bool contains(PartyId p) const noexcept {
+    const std::size_t w = p >> 6;
+    return w < words_.size() && (words_[w] >> (p & 63)) & 1;
+  }
+
+  /// Drop every member but keep the word capacity (hot-path reuse).
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::uint32_t count() const noexcept {
+    std::uint32_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::uint32_t>(std::popcount(w));
+    return n;
+  }
+
+  /// |this AND mask| without materializing the intersection.
+  [[nodiscard]] std::uint32_t count_and(const PartySet& mask) const noexcept {
+    const std::size_t n = words_.size() < mask.words_.size() ? words_.size() : mask.words_.size();
+    std::uint32_t c = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      c += static_cast<std::uint32_t>(std::popcount(words_[i] & mask.words_[i]));
+    }
+    return c;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Visit members in ascending id order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        f(static_cast<PartyId>(i * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Value equality over members (trailing zero words are insignificant).
+  [[nodiscard]] bool operator==(const PartySet& o) const noexcept {
+    const std::size_t n = words_.size() < o.words_.size() ? words_.size() : o.words_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (words_[i] != o.words_[i]) return false;
+    }
+    for (std::size_t i = n; i < words_.size(); ++i) {
+      if (words_[i] != 0) return false;
+    }
+    for (std::size_t i = n; i < o.words_.size(); ++i) {
+      if (o.words_[i] != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bsm::core

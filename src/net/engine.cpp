@@ -30,7 +30,18 @@ class EngineContext final : public Context {
       require(corrupt_, "Context::send: honest process used a nonexistent channel");
       return;
     }
-    out_->push_back(Envelope{self_, to, round_, payload});
+    // Payload-digest memo: a broadcast pushes the same bytes once per
+    // recipient, back to back. Comparing against the envelope we just
+    // queued (alive in out_) turns n payload hashes into one hash plus
+    // n - 1 memcmps; the delivery fold consumes the digest.
+    std::uint64_t digest = 0;
+    if (last_idx_ < out_->size() && (*out_)[last_idx_].payload == payload) {
+      digest = (*out_)[last_idx_].payload_digest;
+    } else {
+      digest = fnv1a64(payload);
+    }
+    last_idx_ = out_->size();
+    out_->push_back(Envelope{self_, to, round_, payload, digest});
   }
 
   [[nodiscard]] Round round() const override { return round_; }
@@ -47,6 +58,7 @@ class EngineContext final : public Context {
   crypto::Signer signer_;
   std::vector<Envelope>* out_;
   bool corrupt_;
+  std::size_t last_idx_ = SIZE_MAX;  ///< index of this context's last send
 };
 
 }  // namespace
@@ -74,19 +86,25 @@ TrafficStats::Counter TrafficStats::round(Round r) const {
 }
 
 void Mailbox::assemble(std::vector<Envelope>&& sends, std::size_t n) {
-  arena_ = std::move(sends);
-  // Group by recipient, ordered by sender id; the stable sort keeps ties in
-  // deterministic generation order, so per-recipient sequences are exactly
-  // the engine's historical (and contractual) delivery order.
-  std::stable_sort(arena_.begin(), arena_.end(), [](const Envelope& a, const Envelope& b) {
-    return a.to != b.to ? a.to < b.to : a.from < b.from;
-  });
+  // Group by recipient, ordered by sender id, ties in deterministic
+  // generation order — the engine's historical (and contractual) delivery
+  // order. The engine steps parties in ascending id and every send is
+  // appended by the stepped party, so `sends` arrives already ordered by
+  // sender; a stable counting scatter by recipient therefore produces
+  // exactly what stable_sort by (to, from) produced, in one O(n) pass.
   offsets_.assign(n + 1, 0);
-  for (const auto& env : arena_) {
+  for (const auto& env : sends) {
     require(env.to < n, "Mailbox::assemble: recipient out of range");
     ++offsets_[env.to + 1];
   }
   for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  scatter_.resize(sends.size());
+  for (auto& env : sends) scatter_[cursor_[env.to]++] = std::move(env);
+  arena_ = std::move(scatter_);
+  scatter_ = std::move(sends);  // keep the emptied buffer's capacity in rotation
+  scatter_.clear();
 }
 
 std::vector<Envelope> Mailbox::recycle() {
@@ -164,7 +182,7 @@ void Engine::deliver_and_step() {
     v = hash_combine(v, round_);
     for (const auto& env : mailbox_.inbox(id)) {
       v = hash_combine(v, env.from);
-      v = hash_combine(v, fnv1a64(env.payload));
+      v = hash_combine(v, env.payload_digest != 0 ? env.payload_digest : fnv1a64(env.payload));
       if (observer_) observer_(env);
     }
     slots_[id].view = v;

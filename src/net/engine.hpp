@@ -98,6 +98,8 @@ class Mailbox {
  private:
   std::vector<Envelope> arena_;
   std::vector<std::size_t> offsets_;  ///< n + 1 arena offsets, one per recipient
+  std::vector<Envelope> scatter_;     ///< counting-sort target, recycled round over round
+  std::vector<std::size_t> cursor_;   ///< per-recipient scatter cursors
 };
 
 class Engine {

@@ -29,6 +29,11 @@ struct Envelope {
   PartyId to = kNobody;
   Round sent_round = 0;
   Bytes payload;
+  /// Engine-internal memo: fnv1a64(payload) when nonzero, unset when 0 (the
+  /// delivery fold recomputes it then). Lets the n copies of one broadcast
+  /// share a single payload hash. Shims that build their own envelopes can
+  /// ignore it — a zero digest is always safe.
+  std::uint64_t payload_digest = 0;
 };
 
 /// The messages delivered to one party this round: a contiguous slice of

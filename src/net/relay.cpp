@@ -50,18 +50,50 @@ void RelayRouter::send(Context& ctx, PartyId to, const Bytes& body) {
   }
 
   // Hand the message to every common neighbour (for our topologies: the
-  // entire opposite side, as in the paper's Lemmas 6/8/10).
-  for (PartyId relay = 0; relay < topo.n(); ++relay) {
-    if (topo.connected(ctx.self(), relay) && topo.connected(relay, to)) {
-      ctx.send(relay, w.data());
+  // entire opposite side, as in the paper's Lemmas 6/8/10). The neighbour
+  // list per destination is memoized — topology and self are fixed for the
+  // router's lifetime — in the same ascending order the scan produced.
+  // The public API tolerated arbitrary destinations (the seed scan found
+  // no common neighbour for an out-of-range id, because connected() is
+  // bounds-checked) — keep that a true no-op and never size the memo
+  // beyond the topology.
+  if (to >= topo.n()) return;
+  if (relays_to_.size() <= to) relays_to_.resize(topo.n());
+  std::vector<PartyId>& relays = relays_to_[to];
+  if (relays.empty()) {
+    for (PartyId relay = 0; relay < topo.n(); ++relay) {
+      if (topo.connected(ctx.self(), relay) && topo.connected(relay, to)) {
+        relays.push_back(relay);
+      }
+    }
+  }
+  for (PartyId relay : relays) ctx.send(relay, w.data());
+}
+
+void RelayRouter::broadcast(Context& ctx, const std::vector<PartyId>& recipients,
+                            const Bytes& body) {
+  const Topology& topo = ctx.topology();
+  const PartyId self = ctx.self();
+  Writer direct;
+  for (PartyId to : recipients) {
+    if (to == self || topo.connected(self, to)) {
+      if (direct.size() == 0) {
+        direct.u8(kDirect);
+        direct.bytes(body);
+      }
+      ctx.send(to, direct.data());
+    } else {
+      send(ctx, to, body);  // relay path: per-destination frame (unique id)
     }
   }
 }
 
 std::vector<AppMsg> RelayRouter::route(Context& ctx, Inbox inbox) {
   std::vector<AppMsg> out;
+  out.reserve(inbox.size());
   const Topology& topo = ctx.topology();
   const std::uint32_t k = topo.k();
+  const PartyId self = ctx.self();
 
   for (const Envelope& env : inbox) {
     Reader r(env.payload);
@@ -81,28 +113,32 @@ std::vector<AppMsg> RelayRouter::route(Context& ctx, Inbox inbox) {
       const PartyId dst = r.u32();
       const std::uint64_t id = r.u64();
       const Round tau = r.u32();
-      Bytes body = r.bytes();
+      const auto body_view = r.bytes_view();  // owned copy only if we must re-sign-check
       const PartyId src = env.from;  // channels are authenticated
       crypto::Signature sig;
       const bool auth = mode_ == RelayMode::AuthSigned || mode_ == RelayMode::AuthTimed;
       if (auth) sig = crypto::Signature::decode(r);
-      if (!r.done() || dst == ctx.self() || dst >= topo.n() || !topo.connected(ctx.self(), dst)) {
+      if (!r.done() || dst == self || dst >= topo.n() || !topo.connected(self, dst)) {
         ++rejected_;
         continue;
       }
-      if (auth && !ctx.pki().verify(src, signed_content(src, dst, id, tau, body), sig)) {
-        ++rejected_;
-        continue;
+      if (auth) {
+        const Bytes body(body_view.begin(), body_view.end());
+        if (!ctx.pki().verify(src, signed_content(src, dst, id, tau, body), sig)) {
+          ++rejected_;
+          continue;
+        }
       }
-      Writer w;
-      w.u8(kRelayFwd);
-      w.u32(src);
-      w.u32(dst);
-      w.u64(id);
-      w.u32(tau);
-      w.bytes(body);
-      if (auth) sig.encode(w);
-      ctx.send(dst, w.data());
+      // The forwarded frame is the request frame with the tag swapped and
+      // the source prepended (dst == the request's `to`, all other fields
+      // verbatim) — patching the received bytes is byte-identical to the
+      // re-encode it replaces.
+      Bytes fwd;
+      fwd.reserve(env.payload.size() + 4);
+      fwd.push_back(kRelayFwd);
+      append_u32_le(fwd, src);
+      fwd.insert(fwd.end(), env.payload.begin() + 1, env.payload.end());
+      ctx.send(dst, fwd);
       continue;
     }
 
@@ -111,29 +147,34 @@ std::vector<AppMsg> RelayRouter::route(Context& ctx, Inbox inbox) {
       const PartyId dst = r.u32();
       const std::uint64_t id = r.u64();
       const Round tau = r.u32();
-      Bytes body = r.bytes();
+      const auto body_view = r.bytes_view();
       crypto::Signature sig;
       const bool auth = mode_ == RelayMode::AuthSigned || mode_ == RelayMode::AuthTimed;
       if (auth) sig = crypto::Signature::decode(r);
-      if (!r.done() || dst != ctx.self() || src >= topo.n()) {
+      if (!r.done() || dst != self || src >= topo.n()) {
         ++rejected_;
         continue;
       }
       if (accepted_.contains({src, id})) continue;  // replay / duplicate
 
       if (mode_ == RelayMode::UnauthMajority) {
-        // Count distinct forwarders vouching for identical content.
+        // Count distinct forwarders vouching for identical content. The
+        // body is materialized once per distinct content, not per copy;
+        // a digest collision inside one (src, id) bucket would merge
+        // votes, exactly as it (harmlessly, and identically) did when the
+        // seed implementation keyed this map by fnv1a64 too.
         auto& bucket = pending_[MajorityKey{src, id}];
-        auto& [stored, voters] = bucket.by_digest[fnv1a64(body)];
-        if (stored.empty()) stored = body;
+        auto& [stored, voters] = bucket.by_digest[fnv1a64(body_view)];
+        if (stored.empty()) stored.assign(body_view.begin(), body_view.end());
         voters.insert(env.from);
-        if (2 * voters.size() > k) {
+        if (2 * voters.count() > k) {
           accepted_.insert({src, id});
-          out.push_back(AppMsg{src, stored});
+          out.push_back(AppMsg{src, std::move(stored)});
           pending_.erase(MajorityKey{src, id});
         }
         continue;
       }
+      Bytes body(body_view.begin(), body_view.end());
 
       if (!ctx.pki().verify(src, signed_content(src, dst, id, tau, body), sig)) {
         ++rejected_;

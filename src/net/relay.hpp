@@ -22,10 +22,13 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/codec.hpp"
+#include "common/hash.hpp"
+#include "common/party_set.hpp"
 #include "common/types.hpp"
 #include "net/process.hpp"
 
@@ -49,6 +52,11 @@ class RelayRouter {
   /// the opposite side. Virtual sends take 2 rounds instead of 1.
   void send(Context& ctx, PartyId to, const Bytes& body);
 
+  /// Send `body` to every recipient in order. Byte- and id-identical to
+  /// calling send() per recipient, but the direct-transport frame is
+  /// encoded once for the whole broadcast instead of once per recipient.
+  void broadcast(Context& ctx, const std::vector<PartyId>& recipients, const Bytes& body);
+
   /// Decode a physical inbox: forward relay requests addressed to others,
   /// apply the acceptance rule for relayed messages addressed to us, and
   /// return all application messages delivered this round.
@@ -62,10 +70,17 @@ class RelayRouter {
   struct MajorityKey {
     PartyId src;
     std::uint64_t id;
-    [[nodiscard]] auto operator<=>(const MajorityKey&) const = default;
+    [[nodiscard]] bool operator==(const MajorityKey&) const = default;
+  };
+  struct MajorityKeyHash {
+    [[nodiscard]] std::size_t operator()(const MajorityKey& k) const noexcept {
+      return static_cast<std::size_t>(hash_combine(k.src, k.id));
+    }
   };
   struct MajorityBucket {
-    std::map<std::uint64_t, std::pair<Bytes, std::set<PartyId>>> by_digest;
+    // Distinct contents per (src, id) are adversarial and rare; the inner
+    // map stays ordered but its values are flat (bytes + voter bitset).
+    std::map<std::uint64_t, std::pair<Bytes, core::PartySet>> by_digest;
   };
 
   [[nodiscard]] static Bytes signed_content(PartyId src, PartyId dst, std::uint64_t id,
@@ -73,9 +88,17 @@ class RelayRouter {
 
   RelayMode mode_;
   std::uint64_t next_id_ = 0;
-  std::set<std::pair<PartyId, std::uint64_t>> accepted_;  // (src, id) replay guard
-  std::map<MajorityKey, MajorityBucket> pending_;
+  // (src, id) replay guard and vote accumulator: hash tables — both are
+  // probed once per forwarded copy and never iterated, so bucket order
+  // cannot leak into behavior.
+  std::unordered_set<MajorityKey, MajorityKeyHash> accepted_;
+  std::unordered_map<MajorityKey, MajorityBucket, MajorityKeyHash> pending_;
   std::uint64_t rejected_ = 0;
+  // Common-neighbour lists are a pure function of (self, to, topology), so
+  // each router memoizes them: the send loop walked every party with two
+  // adjacency probes per candidate, per message. Ascending id order is
+  // preserved exactly.
+  std::vector<std::vector<PartyId>> relays_to_;  ///< indexed by destination
 };
 
 }  // namespace bsm::net

@@ -121,12 +121,17 @@ TEST(Codec, GarbageFuzzNeverThrows) {
 
 TEST(Hash, Fnv1aMatchesKnownVector) {
   // FNV-1a 64-bit of empty input is the offset basis.
-  EXPECT_EQ(fnv1a64({}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64(Bytes{}), 0xcbf29ce484222325ULL);
 }
 
 TEST(Hash, DifferentInputsDiffer) {
-  EXPECT_NE(fnv1a64({1, 2, 3}), fnv1a64({1, 2, 4}));
-  EXPECT_NE(fnv1a64({1, 2, 3}), fnv1a64({3, 2, 1}));
+  EXPECT_NE(fnv1a64(Bytes{1, 2, 3}), fnv1a64(Bytes{1, 2, 4}));
+  EXPECT_NE(fnv1a64(Bytes{1, 2, 3}), fnv1a64(Bytes{3, 2, 1}));
+}
+
+TEST(Hash, Fnv1aViewOverloadMatchesBytesOverload) {
+  const Bytes data{9, 8, 7, 6, 5};
+  EXPECT_EQ(fnv1a64(std::span<const std::uint8_t>(data.data(), data.size())), fnv1a64(data));
 }
 
 TEST(Hash, CombineIsOrderDependent) {

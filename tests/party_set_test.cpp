@@ -1,0 +1,134 @@
+// Differential coverage for core::PartySet against the std::set<PartyId>
+// reference it replaced in the broadcast hot path: randomized
+// insert/erase/count/contains/iteration agreement, >64-party sets spanning
+// multiple words, and the masked side counts the product quorums use.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/party_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace bsm::core {
+namespace {
+
+[[nodiscard]] std::vector<PartyId> members_of(const PartySet& s) {
+  std::vector<PartyId> out;
+  s.for_each([&](PartyId p) { out.push_back(p); });
+  return out;
+}
+
+TEST(PartySet, BasicMembershipAndCount) {
+  PartySet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0U);
+  s.insert(3);
+  s.insert(70);
+  s.insert(3);  // idempotent
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.count(), 2U);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(70));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_FALSE(s.contains(1000));  // beyond allocated words
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.count(), 1U);
+  s.erase(999);  // out of range: no-op
+  EXPECT_EQ(s.count(), 1U);
+}
+
+TEST(PartySet, InitializerListAndIterationOrder) {
+  const PartySet s{9, 2, 65, 0, 128};
+  EXPECT_EQ(members_of(s), (std::vector<PartyId>{0, 2, 9, 65, 128}));
+}
+
+TEST(PartySet, UniverseAndRange) {
+  const PartySet u = PartySet::universe(67);
+  EXPECT_EQ(u.count(), 67U);
+  EXPECT_TRUE(u.contains(0));
+  EXPECT_TRUE(u.contains(66));
+  EXPECT_FALSE(u.contains(67));
+
+  const PartySet r = PartySet::range(64, 130);
+  EXPECT_EQ(r.count(), 130U - 64U);
+  EXPECT_FALSE(r.contains(63));
+  EXPECT_TRUE(r.contains(64));
+  EXPECT_TRUE(r.contains(129));
+  EXPECT_FALSE(r.contains(130));
+}
+
+TEST(PartySet, EqualityIgnoresTrailingZeroWords) {
+  PartySet a;
+  a.insert(5);
+  PartySet b;
+  b.insert(5);
+  b.insert(200);
+  b.erase(200);  // words allocated but zero
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(b == a);
+  b.insert(200);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PartySet, ClearKeepsCapacityAndEmptiesTheSet) {
+  PartySet s{1, 70, 300};
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_FALSE(s.contains(70));
+  s.insert(70);
+  EXPECT_TRUE(s.contains(70));
+}
+
+TEST(PartySet, RandomizedDifferentialAgainstStdSet) {
+  // Ids span several words (including >64) to cover word boundaries.
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    PartySet flat;
+    std::set<PartyId> ref;
+    const std::uint32_t id_bound = round % 2 == 0 ? 60 : 300;
+    for (int op = 0; op < 200; ++op) {
+      const PartyId p = static_cast<PartyId>(rng.below(id_bound));
+      if (rng.chance(0.7)) {
+        flat.insert(p);
+        ref.insert(p);
+      } else {
+        flat.erase(p);
+        ref.erase(p);
+      }
+      ASSERT_EQ(flat.contains(p), ref.contains(p));
+    }
+    ASSERT_EQ(flat.count(), ref.size());
+    ASSERT_EQ(members_of(flat), std::vector<PartyId>(ref.begin(), ref.end()))
+        << "iteration must be ascending, matching std::set";
+  }
+}
+
+TEST(PartySet, MaskedCountsMatchSetIntersection) {
+  // Both-sides product masks over a 2k universe with k crossing one word.
+  Rng rng(7);
+  for (const std::uint32_t k : {3U, 8U, 40U, 70U}) {
+    const PartySet left = PartySet::range(0, k);
+    const PartySet right = PartySet::range(k, 2 * k);
+    PartySet holders;
+    std::set<PartyId> ref;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const PartyId p = static_cast<PartyId>(rng.below(2 * k));
+      holders.insert(p);
+      ref.insert(p);
+    }
+    std::uint32_t cl = 0;
+    std::uint32_t cr = 0;
+    for (PartyId p : ref) (p < k ? cl : cr)++;
+    EXPECT_EQ(holders.count_and(left), cl) << "k=" << k;
+    EXPECT_EQ(holders.count_and(right), cr) << "k=" << k;
+    EXPECT_EQ(holders.count_and(holders), holders.count());
+    EXPECT_EQ(left.count_and(right), 0U);
+  }
+}
+
+}  // namespace
+}  // namespace bsm::core

@@ -2,6 +2,7 @@
 """Diff two BENCH_results.json files (schema in docs/BENCHMARKS.md).
 
 Usage: compare_bench_json.py BASELINE CURRENT [--markdown] [--threshold PCT]
+                             [--fail-above PCT]
 
 Joins cases by name and reports, per case present in both: baseline vs
 current median wall time, the delta in percent, and whether the digest
@@ -10,12 +11,17 @@ expected when the case was modified, alarming otherwise). Cases only in one
 file are listed as added/removed. With --markdown the table is emitted as
 GitHub-flavored markdown (what CI appends to the job summary).
 
-This tool is REPORT-ONLY about performance: medians from different machines,
-containers, or thread counts are not comparable enough to gate a merge, so
-regressions never affect the exit code. Exit status:
+By default this tool is REPORT-ONLY about performance: medians from
+different machines, containers, or thread counts are not comparable enough
+to gate a merge, so regressions never affect the exit code. --fail-above
+PCT opts into a regression threshold: if any case common to both files is
+more than PCT percent slower than its baseline median, the exit code is 3
+(schema problems still win and exit 1). CI keeps the report-only default
+and runs the threshold as a separate advisory step. Exit status:
   0  both files schema-valid, comparison printed
-  1  either file fails schema validation (the only failure mode)
+  1  either file fails schema validation
   2  usage error
+  3  --fail-above given and at least one case regressed beyond PCT
 """
 import json
 import sys
@@ -44,11 +50,13 @@ def compare(base, cur, threshold):
     cur_cases = {c["name"]: c for c in cur.get("cases", [])}
 
     rows = []
+    deltas = {}
     for name in sorted(base_cases.keys() & cur_cases.keys()):
         b, c = base_cases[name], cur_cases[name]
         delta = 0.0
         if b["median_ms"] > 0:
             delta = (c["median_ms"] - b["median_ms"]) / b["median_ms"] * 100.0
+        deltas[name] = delta
         marker = ""
         if abs(delta) > threshold:
             marker = "slower" if delta > 0 else "faster"
@@ -58,7 +66,7 @@ def compare(base, cur, threshold):
                      f"{delta:+.1f}%", marker, digest, ok))
     added = sorted(cur_cases.keys() - base_cases.keys())
     removed = sorted(base_cases.keys() - cur_cases.keys())
-    return rows, added, removed
+    return rows, added, removed, deltas
 
 
 def render_text(rows, added, removed, base, cur):
@@ -104,6 +112,7 @@ def render_markdown(rows, added, removed, base, cur):
 def main(argv):
     markdown = False
     threshold = THRESHOLD_DEFAULT
+    fail_above = None
     paths = []
     it = iter(argv[1:])
     for a in it:
@@ -114,6 +123,12 @@ def main(argv):
                 threshold = float(next(it))
             except (StopIteration, ValueError):
                 print("--threshold needs a number", file=sys.stderr)
+                return 2
+        elif a == "--fail-above":
+            try:
+                fail_above = float(next(it))
+            except (StopIteration, ValueError):
+                print("--fail-above needs a number (percent)", file=sys.stderr)
                 return 2
         elif a.startswith("--"):
             print(f"unknown flag: {a}", file=sys.stderr)
@@ -131,9 +146,17 @@ def main(argv):
     if base_errors or cur_errors:
         return 1
 
-    rows, added, removed = compare(base, cur, threshold)
+    rows, added, removed, deltas = compare(base, cur, threshold)
     render = render_markdown if markdown else render_text
     print(render(rows, added, removed, base, cur))
+
+    if fail_above is not None:
+        regressed = sorted((name, d) for name, d in deltas.items() if d > fail_above)
+        if regressed:
+            for name, d in regressed:
+                print(f"REGRESSION: {name} is {d:+.1f}% vs baseline "
+                      f"(threshold +{fail_above:.0f}%)", file=sys.stderr)
+            return 3
     return 0
 
 
