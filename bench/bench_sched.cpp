@@ -1,0 +1,12 @@
+// The delivery-schedule subsystem measurements: the policy hook's overhead
+// against the null-policy fast path (digests must match — transcript
+// preservation), the (setting x schedule-seed) RandomDelay sweep, and the
+// schedule explorer's search throughput. Case logic: bench/cases/
+// cases_sched.cpp; compare medians at --repeats 5.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
+
+int main(int argc, char** argv) {
+  bsm::benchcases::register_sched();
+  return bsm::core::bench_main(argc, argv);
+}

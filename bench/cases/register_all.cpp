@@ -18,6 +18,7 @@ void register_all() {
   register_sweep_scheduler();
   register_oracle_cache();
   register_broadcast_kernel();
+  register_sched();
 }
 
 }  // namespace bsm::benchcases

@@ -4,6 +4,16 @@
 
 namespace bsm::adversary {
 
+FilteringContext::SendFilter budgeted_omission_filter(core::PartySet targets,
+                                                      std::uint32_t budget) {
+  auto remaining = std::make_shared<std::uint32_t>(budget);
+  return [targets = std::move(targets), remaining](PartyId to, const Bytes&) {
+    if (!targets.contains(to) || *remaining == 0) return true;
+    --*remaining;
+    return false;
+  };
+}
+
 namespace {
 
 // Frame marker for world-tagged traffic between conspirators.

@@ -12,6 +12,7 @@
 #include <set>
 #include <vector>
 
+#include "common/party_set.hpp"
 #include "net/process.hpp"
 
 namespace bsm::adversary {
@@ -55,6 +56,17 @@ class SendFiltered final : public net::Process {
   std::unique_ptr<net::Process> inner_;
   FilteringContext::SendFilter allow_;
 };
+
+/// A budgeted send-omission filter: swallows the first `budget` sends
+/// addressed to `targets`, then passes everything through — the
+/// process-level half of a fault envelope (the network-level half is
+/// sched::TargetedOmissionPolicy; the two compose in one scenario).
+///
+/// The remaining-budget counter is shared across copies on purpose:
+/// SendFiltered re-wraps its filter in a fresh FilteringContext every
+/// round, and a per-copy counter would silently reset each round.
+[[nodiscard]] FilteringContext::SendFilter budgeted_omission_filter(core::PartySet targets,
+                                                                    std::uint32_t budget);
 
 /// The split-brain / dual-simulation strategy: runs two honest instances of
 /// this party's code and partitions the real network into two worlds.

@@ -22,12 +22,13 @@ std::unique_ptr<BsmProcess> honest_process_for(const RunSpec& spec, PartyId id,
   return make_bsm_process(spec.config, spec_for(spec), id, std::move(input));
 }
 
-RunOutcome run_bsm(RunSpec spec) {
+AssembledRun assemble_run(RunSpec spec) {
   const BsmConfig& cfg = spec.config;
   require(spec.inputs.k() == cfg.k, "run_bsm: inputs sized for a different market");
   const ProtocolSpec proto = spec_for(spec);
 
   net::Engine engine(net::Topology(cfg.topology, cfg.k), spec.pki_seed);
+  if (spec.policy != nullptr) engine.set_delivery_policy(std::move(spec.policy));
 
   for (PartyId id = 0; id < cfg.n(); ++id) {
     engine.set_process(id, make_bsm_process(cfg, proto, id, spec.inputs.list(id)));
@@ -42,12 +43,16 @@ RunOutcome run_bsm(RunSpec spec) {
     }
   }
 
-  const Round rounds = proto.total_rounds + spec.extra_rounds;
-  engine.run(rounds);
+  return AssembledRun{cfg, std::move(spec.inputs), proto, proto.total_rounds + spec.extra_rounds,
+                      std::move(engine)};
+}
 
+RunOutcome collect_outcome(const AssembledRun& run) {
+  const BsmConfig& cfg = run.config;
+  const net::Engine& engine = run.engine;
   RunOutcome out;
-  out.spec = proto;
-  out.rounds = rounds;
+  out.spec = run.spec;
+  out.rounds = engine.current_round();
   out.corrupt = engine.corrupt_mask();
   out.traffic = engine.stats();
   out.decisions.resize(cfg.n());
@@ -58,8 +63,14 @@ RunOutcome run_bsm(RunSpec spec) {
     const auto& process = dynamic_cast<const BsmProcess&>(engine.process(id));
     if (process.decided()) out.decisions[id] = process.decision();
   }
-  out.report = check_bsm(cfg.k, out.corrupt, spec.inputs, out.decisions);
+  out.report = check_bsm(cfg.k, out.corrupt, run.inputs, out.decisions);
   return out;
+}
+
+RunOutcome run_bsm(RunSpec spec) {
+  AssembledRun run = assemble_run(std::move(spec));
+  run.engine.run(run.rounds);
+  return collect_outcome(run);
 }
 
 }  // namespace bsm::core

@@ -38,6 +38,11 @@ struct RunSpec {
   /// it. Must equal resolve_protocol(config); ignored when `forced_spec`
   /// is set.
   std::optional<ProtocolSpec> resolved_spec;
+
+  /// Delivery schedule installed into the engine before round 0 (see
+  /// net/delivery.hpp); nullptr = the synchronous fast path. Materialized
+  /// from ScenarioSpec::sched by to_run_spec().
+  std::unique_ptr<net::DeliveryPolicy> policy;
 };
 
 struct RunOutcome {
@@ -54,8 +59,30 @@ struct RunOutcome {
   bool operator==(const RunOutcome&) const = default;
 };
 
+/// An experiment assembled but not yet run: the engine with honest
+/// processes, adversaries, and the delivery policy installed, plus the
+/// deadline run_bsm() would run to. The hook for harnesses that drive
+/// rounds themselves and inspect per-round state — the schedule explorer
+/// steps it round by round, reading view hashes between rounds.
+struct AssembledRun {
+  BsmConfig config;
+  matching::PreferenceProfile inputs;
+  ProtocolSpec spec;
+  Round rounds = 0;  ///< protocol deadline + the spec's extra slack
+  net::Engine engine;
+};
+
+/// Build the engine for `spec` (requires a solvable configuration unless
+/// `spec.forced_spec` is set). Consumes the spec (process objects move
+/// into the engine).
+[[nodiscard]] AssembledRun assemble_run(RunSpec spec);
+
+/// Snapshot outcome + property verdicts at the engine's current round.
+[[nodiscard]] RunOutcome collect_outcome(const AssembledRun& run);
+
 /// Run the setting's own protocol (requires a solvable configuration unless
-/// `spec.forced_spec` is set) and check properties.
+/// `spec.forced_spec` is set) and check properties. Equivalent to
+/// assemble_run + engine.run(rounds) + collect_outcome.
 [[nodiscard]] RunOutcome run_bsm(RunSpec spec);
 
 /// Convenience: build the honest process a party would run, for adversary

@@ -5,6 +5,7 @@
 #include "adversary/shims.hpp"
 #include "adversary/strategies.hpp"
 #include "common/hash.hpp"
+#include "common/party_set.hpp"
 #include "matching/generators.hpp"
 
 namespace bsm::core {
@@ -17,7 +18,13 @@ OracleKey oracle_key(const ScenarioSpec& scenario) {
                            (static_cast<std::uint64_t>(desc.when) << 8) |
                            static_cast<std::uint64_t>(desc.crash_round & 0xff);
     adv = hash_combine(adv, splitmix64(packed));
+    // Structure, not workload: the omission budget shapes the fault, so it
+    // belongs in the key (folded only when set, keeping historical digests).
+    if (desc.budget != 0) adv = hash_combine(adv, splitmix64(0xb0d6e700ULL ^ desc.budget));
   }
+  // The schedule is deliberately excluded: the oracle verdict and resolved
+  // protocol depend on the setting axes only, and a (setting x schedule)
+  // fan-out should collapse onto one cache entry per setting.
   return OracleKey::from_config(scenario.config, adv);
 }
 
@@ -52,6 +59,10 @@ void apply_battery(ScenarioSpec& spec, Battery battery, std::uint64_t salt_seed)
       case Battery::AdaptiveCrash:
         desc.kind = AdversaryDesc::Kind::Silent;
         desc.when = 2 + salt % 3;
+        break;
+      case Battery::Omission:
+        desc.kind = AdversaryDesc::Kind::Omission;
+        desc.budget = 2 + salt % 2;
         break;
     }
     spec.adversaries.push_back(desc);
@@ -107,8 +118,32 @@ namespace {
               spec, desc.id,
               matching::default_preference_list(side_of(desc.id, k), k)),
           [](PartyId p) { return p == 0 ? 0 : 1; }, conspirators);
+    case AdversaryDesc::Kind::Omission: {
+      // Send-omission: honest code behind the budgeted channel filter —
+      // the process-level half of the fault-envelope story, composing with
+      // network-level schedules (TargetedOmissionPolicy) in one scenario.
+      const Side other = opposite(side_of(desc.id, k));
+      const PartyId base = other == Side::Left ? 0 : k;
+      return std::make_unique<adversary::SendFiltered>(
+          honest_process_for(spec, desc.id, spec.inputs.list(desc.id)),
+          adversary::budgeted_omission_filter(PartySet::range(base, base + k), desc.budget));
+    }
   }
   throw std::logic_error("materialize: unknown adversary kind");
+}
+
+/// The schedule's fault envelope for a cell: CorruptAdjacent targets the
+/// scenario's corrupted ids, AllChannels targets every party.
+[[nodiscard]] net::FaultEnvelope envelope_for(const ScenarioSpec& scenario) {
+  net::FaultEnvelope env;
+  if (scenario.sched.scope == sched::PolicyDesc::Scope::AllChannels) {
+    env.targets = PartySet::universe(scenario.config.n());
+  } else {
+    for (const auto& desc : scenario.adversaries) env.targets.insert(desc.id);
+  }
+  env.max_delay = scenario.sched.max_delay;
+  env.omission_budget = scenario.sched.omission_budget;
+  return env;
 }
 
 }  // namespace
@@ -131,7 +166,20 @@ RunSpec to_run_spec(const ScenarioSpec& scenario, SweepArena* arena,
     require(desc.id < scenario.config.n(), "to_run_spec: adversary id out of range");
     spec.adversaries.push_back({desc.id, desc.when, materialize(desc, spec, conspirators, arena)});
   }
+  spec.policy = sched::make_policy(scenario.sched, envelope_for(scenario));
   return spec;
+}
+
+std::vector<sched::PolicyDesc> schedule_axis(const sched::PolicyDesc& base, std::uint64_t count) {
+  if (base.is_synchronous() || count <= 1) return {base};
+  std::vector<sched::PolicyDesc> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sched::PolicyDesc desc = base;
+    desc.seed = base.seed + i;
+    out.push_back(std::move(desc));
+  }
+  return out;
 }
 
 std::vector<ScenarioSpec> SweepGrid::cells() const {
@@ -151,18 +199,23 @@ std::vector<ScenarioSpec> SweepGrid::cells() const {
           for (const std::uint32_t tr : tr_axis) {
             for (const std::uint64_t seed : seeds) {
               for (const Battery battery : batteries) {
-                ScenarioSpec cell;
-                cell.config = BsmConfig{topo, auth, k, tl, tr};
-                // Fold every axis into the workload seed so each cell runs
-                // a distinct preference profile (a bug that only manifests
-                // on particular profiles at particular budgets stays
-                // catchable).
-                cell.input_seed =
-                    seed * 101 + static_cast<std::uint64_t>(battery) + tl * 31 + tr * 7 + k;
-                cell.pki_seed = seed + tl + tr;
-                cell.extra_rounds = extra_rounds;
-                apply_battery(cell, battery, seed * 13 + tl * 11 + tr);
-                out.push_back(std::move(cell));
+                for (const auto& sched_desc : scheds) {
+                  ScenarioSpec cell;
+                  cell.config = BsmConfig{topo, auth, k, tl, tr};
+                  // Fold every axis into the workload seed so each cell
+                  // runs a distinct preference profile (a bug that only
+                  // manifests on particular profiles at particular budgets
+                  // stays catchable). The schedule axis deliberately does
+                  // NOT shift the workload: cells differing only in
+                  // schedule run the same inputs under different delivery.
+                  cell.input_seed =
+                      seed * 101 + static_cast<std::uint64_t>(battery) + tl * 31 + tr * 7 + k;
+                  cell.pki_seed = seed + tl + tr;
+                  cell.extra_rounds = extra_rounds;
+                  cell.sched = sched_desc;
+                  apply_battery(cell, battery, seed * 13 + tl * 11 + tr);
+                  out.push_back(std::move(cell));
+                }
               }
             }
           }

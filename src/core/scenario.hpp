@@ -26,6 +26,7 @@
 #include "core/factory.hpp"
 #include "core/oracle.hpp"
 #include "core/runner.hpp"
+#include "sched/policy.hpp"
 
 namespace bsm::core {
 
@@ -39,6 +40,8 @@ struct AdversaryDesc {
     SplitBrainLiar,  ///< two honest instances (true input / lie), worlds by parity
     SplitBrainRelay, ///< the relay split-brain device of Lemmas 5/7/13; all
                      ///< SplitBrainRelay parties in a scenario conspire
+    Omission,        ///< honest code; first `budget` sends to the opposite
+                     ///< side are swallowed (send-omission via shims)
   };
 
   Kind kind = Kind::Silent;
@@ -46,6 +49,7 @@ struct AdversaryDesc {
   Round when = 0;          ///< corruption round (0 = byzantine from the start)
   std::uint64_t seed = 0;  ///< Noise RNG seed
   Round crash_round = 3;   ///< Crash only
+  std::uint32_t budget = 0;  ///< Omission only: sends the fault swallows
 
   bool operator==(const AdversaryDesc&) const = default;
 };
@@ -58,6 +62,7 @@ enum class Battery : std::uint8_t {
   Noise,          ///< all spray garbage
   Liars,          ///< all run honest code over lying inputs
   AdaptiveCrash,  ///< silent, but corrupted only at round 2 + salt % 3
+  Omission,       ///< honest code behind a budgeted send-omission shim
 };
 
 /// One experiment cell as a value. Copyable, hashable by content, safe to
@@ -69,6 +74,13 @@ struct ScenarioSpec {
   Round extra_rounds = 2;
   std::vector<AdversaryDesc> adversaries;
   std::optional<ProtocolSpec> forced_spec;  ///< attack experiments only
+
+  /// Delivery schedule for the cell (default: the synchronous identity,
+  /// which materializes to the engine's zero-overhead fast path). With
+  /// Scope::CorruptAdjacent the schedule's fault envelope targets exactly
+  /// the `adversaries` ids, so a perturbed run stays inside the setting's
+  /// byzantine guarantees.
+  sched::PolicyDesc sched;
 };
 
 /// Corrupt the full per-side budget of `spec.config` with `battery`;
@@ -126,10 +138,23 @@ struct SweepGrid {
   std::vector<Battery> batteries{Battery::Silent};
   Round extra_rounds = 2;
 
+  /// Delivery-schedule axis: each cell is repeated once per desc, so a
+  /// grid fans out (setting x schedule) — e.g. schedule_axis(...) builds
+  /// the (schedule-seed) spread for RandomDelay. The default single
+  /// synchronous desc reproduces the historical grid cell for cell.
+  std::vector<sched::PolicyDesc> scheds{sched::PolicyDesc{}};
+
   /// All cells, outermost axis first (topology, auth, k, tL, tR, seed,
-  /// battery); deterministic order. Unsolvable cells are included — the
-  /// sweep driver reports them as such without running.
+  /// battery, schedule); deterministic order. Unsolvable cells are
+  /// included — the sweep driver reports them as such without running.
   [[nodiscard]] std::vector<ScenarioSpec> cells() const;
 };
+
+/// The (schedule-seed) spread for a SweepGrid: `count` copies of `base`
+/// whose seeds are base.seed, base.seed + 1, ... (one schedule stream per
+/// cell repetition). For Synchronous the seed is inert and one desc is
+/// returned.
+[[nodiscard]] std::vector<sched::PolicyDesc> schedule_axis(const sched::PolicyDesc& base,
+                                                           std::uint64_t count);
 
 }  // namespace bsm::core

@@ -76,6 +76,25 @@ void TrafficStats::note_send(PartyId from, PartyId to, Round round, std::size_t 
   }
 }
 
+void TrafficStats::note_delivery(PartyId from, PartyId to, Round round,
+                                 std::size_t payload_bytes) {
+  ++delivered_messages;
+  delivered_bytes += payload_bytes;
+  if (delivered_per_round.size() <= round) delivered_per_round.resize(round + 1);
+  ++delivered_per_round[round].messages;
+  delivered_per_round[round].bytes += payload_bytes;
+  if (n != 0) {
+    auto& ch = delivered_per_channel[static_cast<std::size_t>(from) * n + to];
+    ++ch.messages;
+    ch.bytes += payload_bytes;
+  }
+}
+
+void TrafficStats::note_drop(PartyId, PartyId, std::size_t payload_bytes) {
+  ++dropped_messages;
+  dropped_bytes += payload_bytes;
+}
+
 const TrafficStats::Counter& TrafficStats::channel(PartyId from, PartyId to) const {
   require(n != 0 && from < n && to < n, "TrafficStats::channel: bad party id");
   return per_channel[static_cast<std::size_t>(from) * n + to];
@@ -83,6 +102,15 @@ const TrafficStats::Counter& TrafficStats::channel(PartyId from, PartyId to) con
 
 TrafficStats::Counter TrafficStats::round(Round r) const {
   return r < per_round.size() ? per_round[r] : Counter{};
+}
+
+const TrafficStats::Counter& TrafficStats::delivered_channel(PartyId from, PartyId to) const {
+  require(n != 0 && from < n && to < n, "TrafficStats::delivered_channel: bad party id");
+  return delivered_per_channel[static_cast<std::size_t>(from) * n + to];
+}
+
+TrafficStats::Counter TrafficStats::delivered_round(Round r) const {
+  return r < delivered_per_round.size() ? delivered_per_round[r] : Counter{};
 }
 
 void Mailbox::assemble(std::vector<Envelope>&& sends, std::size_t n) {
@@ -117,6 +145,12 @@ Engine::Engine(Topology topo, std::uint64_t pki_seed)
     : topo_(topo), pki_(topo.n(), pki_seed), slots_(topo.n()) {
   stats_.n = topo_.n();
   stats_.per_channel.assign(static_cast<std::size_t>(stats_.n) * stats_.n, {});
+  stats_.delivered_per_channel.assign(static_cast<std::size_t>(stats_.n) * stats_.n, {});
+}
+
+void Engine::set_delivery_policy(std::unique_ptr<DeliveryPolicy> policy) {
+  require(carried_.empty(), "Engine::set_delivery_policy: messages still carried");
+  policy_ = std::move(policy);
 }
 
 void Engine::set_process(PartyId id, std::unique_ptr<Process> process) {
@@ -174,7 +208,13 @@ void Engine::deliver_and_step() {
   }
 
   // Batch last round's sends into the arena: one buffer, payloads moved.
-  mailbox_.assemble(std::move(in_flight_), slots_.size());
+  // With a delivery policy installed, the batch is the policy's verdict
+  // over fresh sends plus the carried envelopes due this round.
+  if (policy_ == nullptr) {
+    mailbox_.assemble(std::move(in_flight_), slots_.size());
+  } else {
+    assemble_with_policy();
+  }
 
   // Fold delivered messages into each recipient's view digest.
   for (PartyId id = 0; id < slots_.size(); ++id) {
@@ -183,6 +223,7 @@ void Engine::deliver_and_step() {
     for (const auto& env : mailbox_.inbox(id)) {
       v = hash_combine(v, env.from);
       v = hash_combine(v, env.payload_digest != 0 ? env.payload_digest : fnv1a64(env.payload));
+      stats_.note_delivery(env.from, env.to, round_, env.payload.size());
       if (observer_) observer_(env);
     }
     slots_[id].view = v;
@@ -202,6 +243,57 @@ void Engine::deliver_and_step() {
   scratch_ = mailbox_.recycle();
   in_flight_ = std::move(outgoing);
   ++round_;
+}
+
+void Engine::assemble_with_policy() {
+  // Merge order before the sort: carried envelopes due now (in the
+  // deterministic order they were delayed in), then this round's fresh
+  // sends (sender order). At equal (rank, sender) the stable sort keeps
+  // exactly this order, so a delayed message lands *before* the sender's
+  // newer traffic in the recipient's inbox.
+  auto& merged = deliver_scratch_;
+  merged.clear();
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < carried_.size(); ++i) {
+    if (carried_[i].due <= round_) {
+      merged.push_back(std::move(carried_[i]));
+    } else {
+      if (keep != i) carried_[keep] = std::move(carried_[i]);  // self-move guard
+      ++keep;
+    }
+  }
+  carried_.resize(keep);
+
+  for (auto& env : in_flight_) {
+    const DeliveryVerdict v = policy_->on_envelope(round_, env);
+    switch (v.action) {
+      case DeliveryVerdict::Action::Deliver:
+        merged.push_back({std::move(env), round_, v.rank});
+        break;
+      case DeliveryVerdict::Action::Delay:
+        carried_.push_back({std::move(env), round_ + std::max<Round>(v.delay, 1), v.rank});
+        break;
+      case DeliveryVerdict::Action::Drop:
+        stats_.note_drop(env.from, env.to, env.payload.size());
+        break;
+    }
+  }
+
+  // (rank, sender id) orders each recipient's inbox; Mailbox::assemble's
+  // counting scatter is stable per recipient, so with every verdict
+  // Deliver/rank 0 the native (sender id, send order) contract holds
+  // byte for byte.
+  std::stable_sort(merged.begin(), merged.end(), [](const Carried& a, const Carried& b) {
+    return ((static_cast<std::uint64_t>(a.rank) << 32) | a.env.from) <
+           ((static_cast<std::uint64_t>(b.rank) << 32) | b.env.from);
+  });
+
+  std::vector<Envelope> deliver = std::move(in_flight_);  // reuse the send buffer
+  deliver.clear();
+  deliver.reserve(merged.size());
+  for (auto& c : merged) deliver.push_back(std::move(c.env));
+  mailbox_.assemble(std::move(deliver), slots_.size());
+  in_flight_.clear();
 }
 
 void Engine::run(Round rounds) {

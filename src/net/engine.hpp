@@ -24,6 +24,7 @@
 
 #include "common/types.hpp"
 #include "crypto/pki.hpp"
+#include "net/delivery.hpp"
 #include "net/process.hpp"
 #include "net/topology.hpp"
 
@@ -57,12 +58,31 @@ struct TrafficStats {
   std::vector<Counter> per_channel;  ///< flattened n x n matrix, from * n + to
   std::uint32_t n = 0;               ///< parties (per_channel row width)
 
+  /// Delivered-side counters, keyed by the round the envelope actually
+  /// reached its recipient — which differs from the send round + 1 exactly
+  /// when a DeliveryPolicy delays messages. Under the synchronous schedule
+  /// delivered_round(r + 1) == round(r) message for message; under any
+  /// schedule delivered + dropped + (still-carried + last round's sends)
+  /// == sent (asserted by tests/delivery_test.cpp).
+  std::uint64_t delivered_messages = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t dropped_messages = 0;  ///< policy Drop verdicts
+  std::uint64_t dropped_bytes = 0;
+  std::vector<Counter> delivered_per_round;    ///< indexed by delivery round
+  std::vector<Counter> delivered_per_channel;  ///< flattened n x n, from * n + to
+
   void note_send(PartyId from, PartyId to, Round round, std::size_t payload_bytes);
+  void note_delivery(PartyId from, PartyId to, Round round, std::size_t payload_bytes);
+  void note_drop(PartyId from, PartyId to, std::size_t payload_bytes);
 
   /// Sent-traffic counter for the directed channel from -> to.
   [[nodiscard]] const Counter& channel(PartyId from, PartyId to) const;
   /// Sent-traffic counter for `round` (zero counter past the last send).
   [[nodiscard]] Counter round(Round r) const;
+  /// Delivered-traffic counter for the directed channel from -> to.
+  [[nodiscard]] const Counter& delivered_channel(PartyId from, PartyId to) const;
+  /// Delivered-traffic counter for `round` (zero past the last delivery).
+  [[nodiscard]] Counter delivered_round(Round r) const;
 
   bool operator==(const TrafficStats&) const = default;
 };
@@ -151,6 +171,18 @@ class Engine {
   using Observer = std::function<void(const Envelope&)>;
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Install a delivery schedule (see net/delivery.hpp). nullptr (the
+  /// default) keeps the historical synchronous fast path — sends move
+  /// straight into the mailbox, byte-identical to every pre-policy
+  /// transcript. Install before the first run(); swapping mid-run with
+  /// messages still carried is a caller bug.
+  void set_delivery_policy(std::unique_ptr<DeliveryPolicy> policy);
+  [[nodiscard]] const DeliveryPolicy* delivery_policy() const noexcept { return policy_.get(); }
+
+  /// Envelopes a policy delayed past the current round and that are still
+  /// waiting to deliver (0 on the synchronous path).
+  [[nodiscard]] std::size_t pending_carried() const noexcept { return carried_.size(); }
+
  private:
   struct Slot {
     std::unique_ptr<Process> process;
@@ -163,7 +195,15 @@ class Engine {
     std::unique_ptr<Process> strategy;
   };
 
+  /// One policy-delayed envelope waiting for its delivery round.
+  struct Carried {
+    Envelope env;
+    Round due = 0;
+    std::uint32_t rank = 0;
+  };
+
   void deliver_and_step();
+  void assemble_with_policy();
 
   Topology topo_;
   crypto::Pki pki_;
@@ -175,6 +215,9 @@ class Engine {
   Round round_ = 0;
   TrafficStats stats_;
   Observer observer_;
+  std::unique_ptr<DeliveryPolicy> policy_;  ///< nullptr = synchronous fast path
+  std::vector<Carried> carried_;            ///< policy-delayed envelope arena
+  std::vector<Carried> deliver_scratch_;    ///< per-round merge buffer, recycled
 };
 
 }  // namespace bsm::net

@@ -1,0 +1,273 @@
+#include "sched/explorer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "core/sweep.hpp"
+
+namespace bsm::sched {
+
+namespace {
+
+/// One channel-round delivery group observed in a run: a point the
+/// schedule could perturb.
+struct Slot {
+  Round round = 0;
+  PartyId from = 0;
+  PartyId to = 0;
+
+  [[nodiscard]] bool operator<(const Slot& o) const {
+    if (round != o.round) return round < o.round;
+    if (from != o.from) return from < o.from;
+    return to < o.to;
+  }
+  bool operator==(const Slot&) const = default;
+};
+
+/// What one schedule run reports back to the search.
+struct Eval {
+  std::uint64_t trail = 0;  ///< fold of per-round state digests
+  int violated = 0;
+  std::vector<Slot> menu;  ///< observed delivery groups, sorted unique
+  std::vector<std::uint64_t> views;
+};
+
+struct Candidate {
+  ScheduleTrace trace;
+};
+
+/// Run `base` under `trace` for `horizon` rounds, recording the trail and
+/// the delivery-group menu. Pure per call: every run owns its engine.
+[[nodiscard]] Eval eval_schedule(const core::ScenarioSpec& base,
+                                 const std::optional<core::ProtocolSpec>& resolved,
+                                 const ScheduleTrace& trace, Round horizon, bool collect_menu) {
+  core::ScenarioSpec scenario = base;
+  scenario.sched = PolicyDesc{};
+  scenario.sched.kind = PolicyDesc::Kind::Scripted;
+  scenario.sched.trace = trace;
+
+  core::AssembledRun run = core::assemble_run(core::to_run_spec(scenario, nullptr, resolved));
+  const Round rounds = horizon == 0 ? run.rounds : horizon;
+
+  std::vector<Slot> menu;
+  if (collect_menu) {
+    run.engine.set_observer([&](const net::Envelope& env) {
+      if (env.from == env.to) return;  // self-loopback: not a network channel
+      menu.push_back({run.engine.current_round(), env.from, env.to});
+    });
+  }
+
+  Eval eval;
+  eval.trail = 0x5eed0f0ddULL;
+  for (Round r = 0; r < rounds; ++r) {
+    run.engine.run(1);
+    std::uint64_t state = splitmix64(r);
+    for (PartyId id = 0; id < run.config.n(); ++id) {
+      state = hash_combine(state, run.engine.view_hash(id));
+    }
+    eval.trail = hash_combine(eval.trail, state);
+  }
+
+  const core::RunOutcome outcome = core::collect_outcome(run);
+  eval.violated = outcome.report.all() ? 0 : 1;
+  eval.views = outcome.view_hashes;
+
+  std::sort(menu.begin(), menu.end());
+  menu.erase(std::unique(menu.begin(), menu.end()), menu.end());
+  eval.menu = std::move(menu);
+  return eval;
+}
+
+class Search {
+ public:
+  Search(const core::ScenarioSpec& scenario, const ExplorerOptions& opts)
+      : scenario_(scenario), opts_(opts) {
+    require(scenario.sched.is_synchronous(),
+            "sched::explore: the explorer owns the schedule axis; pass a synchronous scenario");
+    if (!scenario.forced_spec.has_value()) {
+      resolved_ = core::resolve_protocol(scenario.config);
+      require(resolved_.has_value(), "sched::explore: scenario is unsolvable per the paper");
+    }
+    for (const auto& desc : scenario.adversaries) corrupt_.push_back(desc.id);
+  }
+
+  [[nodiscard]] ExplorerReport run() {
+    ExplorerReport report;
+
+    // Depth 0: the unperturbed schedule seeds the menu and the trail set.
+    const Eval root = eval_schedule(scenario_, resolved_, ScheduleTrace{}, opts_.horizon, true);
+    ++report.explored;
+    seen_.insert(root.trail);
+    if (root.violated != 0) {
+      // The scenario violates with no perturbation at all: nothing to
+      // minimize, the counterexample is the empty schedule.
+      ++report.violations;
+      report.counterexample = ScheduleTrace{};
+      report.counterexample_views = root.views;
+      return report;
+    }
+
+    std::vector<std::pair<ScheduleTrace, std::vector<Slot>>> frontier;
+    frontier.emplace_back(ScheduleTrace{}, root.menu);
+
+    std::optional<ScheduleTrace> violating;
+    std::vector<std::uint64_t> violating_views;
+
+    for (std::size_t depth = 1; depth <= opts_.max_depth && !frontier.empty(); ++depth) {
+      report.depth_reached = depth;
+
+      // Generate this wave's candidates in canonical order. A slot the
+      // parent already perturbs is skipped outright: ScriptedPolicy keys
+      // ops by (round, from, to), so a second op on the same slot would
+      // be inert — a wasted run that pruning would only catch after the
+      // fact.
+      std::vector<Candidate> wave;
+      for (std::size_t p = 0; p < frontier.size(); ++p) {
+        const auto& [trace, menu] = frontier[p];
+        for (const Slot& slot : menu) {
+          const bool taken =
+              std::any_of(trace.ops.begin(), trace.ops.end(), [&](const ScheduleOp& op) {
+                return op.round == slot.round && op.from == slot.from && op.to == slot.to;
+              });
+          if (taken) continue;
+          for (const ScheduleOp& op : ops_for(slot)) {
+            if (!trace.ops.empty() && !(trace.ops.back() < op)) continue;
+            if (report.explored + wave.size() >= opts_.max_schedules) {
+              report.truncated = true;
+              break;
+            }
+            Candidate c;
+            c.trace = trace;
+            c.trace.ops.push_back(op);
+            wave.push_back(std::move(c));
+          }
+          if (report.truncated) break;
+        }
+        if (report.truncated) break;
+      }
+      if (wave.empty()) break;
+
+      // Run the wave in parallel; fold results in candidate order so the
+      // report is thread-count independent.
+      const bool last_depth = depth == opts_.max_depth;
+      const auto evals = core::run_cells(
+          wave,
+          [&](const Candidate& c) {
+            return eval_schedule(scenario_, resolved_, c.trace, opts_.horizon, !last_depth);
+          },
+          {.threads = opts_.threads});
+
+      std::vector<std::pair<ScheduleTrace, std::vector<Slot>>> next;
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        const Eval& eval = evals[i];
+        ++report.explored;
+        if (eval.violated != 0) {
+          ++report.violations;
+          if (!violating.has_value()) {
+            violating = wave[i].trace;
+            violating_views = eval.views;
+          }
+          continue;  // a violating schedule's extensions add nothing
+        }
+        if (!seen_.insert(eval.trail).second) {
+          // Every party saw exactly what it saw under an earlier schedule
+          // (e.g. delay-past-horizon vs drop): the schedule is equivalent,
+          // its extension subtree is skipped.
+          ++report.pruned;
+          continue;
+        }
+        if (!last_depth) next.emplace_back(std::move(wave[i].trace), eval.menu);
+      }
+      if (violating.has_value()) break;  // deepen no further; minimize
+      frontier = std::move(next);
+    }
+
+    if (violating.has_value()) {
+      report.counterexample = minimize(*violating, &violating_views, &report.shrink_runs);
+      report.counterexample_views = std::move(violating_views);
+    }
+    return report;
+  }
+
+ private:
+  /// The concrete ops the menu offers at one slot, in canonical order.
+  [[nodiscard]] std::vector<ScheduleOp> ops_for(const Slot& slot) const {
+    std::vector<ScheduleOp> ops;
+    if (opts_.corrupt_adjacent_only) {
+      const bool adjacent =
+          std::find(corrupt_.begin(), corrupt_.end(), slot.from) != corrupt_.end() ||
+          std::find(corrupt_.begin(), corrupt_.end(), slot.to) != corrupt_.end();
+      if (!adjacent) return ops;
+    }
+    if (opts_.allow_drop) {
+      ops.push_back({ScheduleOp::Kind::Drop, slot.round, slot.from, slot.to, 1});
+    }
+    if (opts_.allow_delay) {
+      for (Round d = 1; d <= std::max<Round>(opts_.max_delay, 1); ++d) {
+        ops.push_back({ScheduleOp::Kind::Delay, slot.round, slot.from, slot.to, d});
+      }
+    }
+    if (opts_.allow_reorder) {
+      ops.push_back({ScheduleOp::Kind::Rank, slot.round, slot.from, slot.to, 1});
+    }
+    return ops;
+  }
+
+  /// Greedy shrink: whole rounds first, then single ops. Every removal is
+  /// re-verified, so the result still violates and is 1-minimal op-wise.
+  [[nodiscard]] ScheduleTrace minimize(ScheduleTrace trace, std::vector<std::uint64_t>* views,
+                                       std::size_t* shrink_runs) {
+    const auto still_violates = [&](const ScheduleTrace& t) {
+      ++*shrink_runs;
+      const Eval eval = eval_schedule(scenario_, resolved_, t, opts_.horizon, false);
+      if (eval.violated != 0) *views = eval.views;
+      return eval.violated != 0;
+    };
+
+    // Round-wise pass.
+    std::vector<Round> rounds;
+    for (const auto& op : trace.ops) rounds.push_back(op.round);
+    std::sort(rounds.begin(), rounds.end());
+    rounds.erase(std::unique(rounds.begin(), rounds.end()), rounds.end());
+    for (const Round r : rounds) {
+      ScheduleTrace without = trace;
+      std::erase_if(without.ops, [r](const ScheduleOp& op) { return op.round == r; });
+      if (without.ops.size() < trace.ops.size() && still_violates(without)) trace = without;
+    }
+
+    // Op-wise pass.
+    for (std::size_t i = 0; i < trace.ops.size();) {
+      ScheduleTrace without = trace;
+      without.ops.erase(without.ops.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_violates(without)) {
+        trace = without;
+      } else {
+        ++i;
+      }
+    }
+
+    // The shrink loop's last run may have been a non-violating probe;
+    // re-establish the reported views from the final trace.
+    const Eval final_eval = eval_schedule(scenario_, resolved_, trace, opts_.horizon, false);
+    ++*shrink_runs;
+    *views = final_eval.views;
+    return trace;
+  }
+
+  core::ScenarioSpec scenario_;
+  ExplorerOptions opts_;
+  std::optional<core::ProtocolSpec> resolved_;
+  std::vector<PartyId> corrupt_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace
+
+ExplorerReport explore(const core::ScenarioSpec& scenario, const ExplorerOptions& options) {
+  Search search(scenario, options);
+  return search.run();
+}
+
+}  // namespace bsm::sched

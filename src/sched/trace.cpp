@@ -1,0 +1,129 @@
+#include "sched/trace.hpp"
+
+#include "common/codec.hpp"
+#include "common/hash.hpp"
+
+namespace bsm::sched {
+
+namespace {
+
+[[nodiscard]] const char* kind_name(ScheduleOp::Kind kind) {
+  switch (kind) {
+    case ScheduleOp::Kind::Drop:
+      return "drop";
+    case ScheduleOp::Kind::Delay:
+      return "delay";
+    case ScheduleOp::Kind::Rank:
+      return "rank";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<ScheduleOp::Kind> kind_from(std::string_view name) {
+  if (name == "drop") return ScheduleOp::Kind::Drop;
+  if (name == "delay") return ScheduleOp::Kind::Delay;
+  if (name == "rank") return ScheduleOp::Kind::Rank;
+  return std::nullopt;
+}
+
+/// Split off the prefix of `s` before the first `sep` (or all of it).
+[[nodiscard]] std::string_view take_until(std::string_view& s, char sep) {
+  const std::size_t pos = s.find(sep);
+  if (pos == std::string_view::npos) {
+    std::string_view head = s;
+    s = {};
+    return head;
+  }
+  std::string_view head = s.substr(0, pos);
+  s.remove_prefix(pos + 1);
+  return head;
+}
+
+[[nodiscard]] std::optional<ScheduleOp> parse_op(std::string_view text) {
+  // kind@round:from>to[*arg]
+  const std::size_t at = text.find('@');
+  if (at == std::string_view::npos) return std::nullopt;
+  const auto kind = kind_from(text.substr(0, at));
+  if (!kind) return std::nullopt;
+  text.remove_prefix(at + 1);
+
+  std::uint64_t arg = 1;
+  const std::size_t star = text.find('*');
+  if (star != std::string_view::npos) {
+    // Drop takes no argument — accepting one would break the serialize
+    // round-trip (serialize() never emits it).
+    if (*kind == ScheduleOp::Kind::Drop) return std::nullopt;
+    const auto parsed = parse_u64(text.substr(star + 1));
+    if (!parsed || *parsed == 0 || *parsed > UINT32_MAX) return std::nullopt;
+    arg = *parsed;
+    text = text.substr(0, star);
+  } else if (*kind != ScheduleOp::Kind::Drop) {
+    return std::nullopt;  // delay/rank require an explicit argument
+  }
+
+  const std::size_t colon = text.find(':');
+  const std::size_t gt = text.find('>');
+  if (colon == std::string_view::npos || gt == std::string_view::npos || gt < colon) {
+    return std::nullopt;
+  }
+  const auto round = parse_u64(text.substr(0, colon));
+  const auto from = parse_u64(text.substr(colon + 1, gt - colon - 1));
+  const auto to = parse_u64(text.substr(gt + 1));
+  if (!round || !from || !to) return std::nullopt;
+  if (*round > UINT32_MAX || *from > UINT32_MAX || *to > UINT32_MAX) return std::nullopt;
+
+  ScheduleOp op;
+  op.kind = *kind;
+  op.round = static_cast<Round>(*round);
+  op.from = static_cast<PartyId>(*from);
+  op.to = static_cast<PartyId>(*to);
+  op.arg = static_cast<std::uint32_t>(arg);
+  return op;
+}
+
+}  // namespace
+
+std::uint64_t ScheduleTrace::digest() const {
+  std::uint64_t h = 0x5ced5ced5ced5cedULL;
+  for (const auto& op : ops) {
+    h = hash_combine(h, splitmix64((static_cast<std::uint64_t>(op.kind) << 56) ^
+                                   (static_cast<std::uint64_t>(op.round) << 40) ^
+                                   (static_cast<std::uint64_t>(op.from) << 20) ^ op.to));
+    h = hash_combine(h, op.arg);
+  }
+  return h;
+}
+
+std::string ScheduleTrace::serialize() const {
+  std::string out;
+  for (const auto& op : ops) {
+    if (!out.empty()) out.push_back(';');
+    out += kind_name(op.kind);
+    out.push_back('@');
+    out += std::to_string(op.round);
+    out.push_back(':');
+    out += std::to_string(op.from);
+    out.push_back('>');
+    out += std::to_string(op.to);
+    if (op.kind != ScheduleOp::Kind::Drop) {
+      out.push_back('*');
+      out += std::to_string(op.arg);
+    }
+  }
+  return out;
+}
+
+std::optional<ScheduleTrace> ScheduleTrace::parse(std::string_view text) {
+  ScheduleTrace trace;
+  if (text.empty()) return trace;
+  if (text.back() == ';') return std::nullopt;  // strict: no trailing separator
+  while (!text.empty()) {
+    const std::string_view entry = take_until(text, ';');
+    const auto op = parse_op(entry);
+    if (!op) return std::nullopt;
+    trace.ops.push_back(*op);
+  }
+  return trace;
+}
+
+}  // namespace bsm::sched

@@ -1,0 +1,117 @@
+// The bsm_cli exit-code and flag contract, exercised against the real
+// binary (CMake injects its path as BSM_CLI_PATH):
+//   --help exits 0 and documents every subcommand;
+//   an unknown flag on any subcommand path exits 2 and names the flag;
+//   `explore` emits schema-shaped JSON and exits 0 on a satisfied search.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+[[nodiscard]] CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(BSM_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  CliResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(CliContract, HelpExitsZeroAndDocumentsEverySubcommand) {
+  const auto result = run_cli("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* word : {"run", "sweep", "explore", "bench", "--replay", "--max-depth"}) {
+    EXPECT_NE(result.output.find(word), std::string::npos) << "help must mention " << word;
+  }
+}
+
+TEST(CliContract, SubcommandHelpExitsZero) {
+  for (const char* sub : {"run", "sweep", "explore"}) {
+    const auto result = run_cli(std::string(sub) + " --help");
+    EXPECT_EQ(result.exit_code, 0) << sub;
+  }
+}
+
+TEST(CliContract, UnknownFlagsExitTwoAndNameTheFlag) {
+  // Every subcommand path must reject an unknown flag with exit 2 and an
+  // error that names the offending flag.
+  const std::pair<const char*, const char*> cases[] = {
+      {"run --bogus-flag", "--bogus-flag"},
+      {"--bogus-flag", "--bogus-flag"},
+      {"sweep --not-a-flag", "--not-a-flag"},
+      {"explore --wat", "--wat"},
+      {"bench --nope", "--nope"},
+  };
+  for (const auto& [args, flag] : cases) {
+    const auto result = run_cli(args);
+    EXPECT_EQ(result.exit_code, 2) << args;
+    EXPECT_NE(result.output.find(flag), std::string::npos)
+        << "'" << args << "' must name the offending flag; got: " << result.output;
+  }
+}
+
+TEST(CliContract, BadValuesExitTwo) {
+  for (const char* args :
+       {"explore --k zilch", "explore --battery nuclear", "explore --ops blackhole",
+        "explore --replay not-a-trace", "sweep --sched warp", "sweep --sched-seeds 0",
+        "sweep --topology moebius"}) {
+    const auto result = run_cli(args);
+    EXPECT_EQ(result.exit_code, 2) << args;
+  }
+}
+
+TEST(CliContract, MissingValueExitsTwo) {
+  for (const char* args : {"explore --k", "sweep --battery", "run --seed"}) {
+    const auto result = run_cli(args);
+    EXPECT_EQ(result.exit_code, 2) << args;
+  }
+}
+
+TEST(CliContract, ExploreEmitsJsonAndExitsZeroWhenSatisfied) {
+  const auto result =
+      run_cli("explore --k 2 --tl 1 --tr 0 --max-depth 1 --max-schedules 64 --threads 2");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  for (const char* field : {"\"scenario\"", "\"schedules\"", "\"explored\"", "\"pruned\"",
+                            "\"violations\"", "\"all_satisfied\": true", "\"counterexample\""}) {
+    EXPECT_NE(result.output.find(field), std::string::npos)
+        << "explore JSON must contain " << field;
+  }
+}
+
+TEST(CliContract, ExploreExitsOneOnViolationAndReplayReproducesIt) {
+  const auto search = run_cli("explore --k 2 --tl 0 --tr 0 --include-honest --max-depth 1");
+  EXPECT_EQ(search.exit_code, 1) << search.output;
+  const auto start = search.output.find("\"trace\": \"");
+  ASSERT_NE(start, std::string::npos) << search.output;
+  const auto from = start + std::string("\"trace\": \"").size();
+  const auto end = search.output.find('"', from);
+  const std::string trace = search.output.substr(from, end - from);
+  ASSERT_FALSE(trace.empty());
+
+  const auto replay = run_cli("explore --k 2 --tl 0 --tr 0 --replay \"" + trace + "\"");
+  EXPECT_EQ(replay.exit_code, 1) << replay.output;
+  EXPECT_NE(replay.output.find("\"all_properties\": false"), std::string::npos) << replay.output;
+}
+
+TEST(CliContract, ExploreRejectsUnsolvableSettings) {
+  const auto result = run_cli("explore --k 2 --tl 2 --tr 2 --no-auth");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unsolvable"), std::string::npos) << result.output;
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Engine-level contracts of the DeliveryPolicy hook (net/delivery.hpp):
+// carry-over accounting (delayed envelopes attribute to their *delivery*
+// round, differentially against the synchronous totals), drop accounting,
+// reorder semantics, and the conservation law
+//   sent == delivered + dropped + still-carried + last round's in-flight.
+#include <gtest/gtest.h>
+
+#include "net/engine.hpp"
+#include "sched/policy.hpp"
+#include "sched/trace.hpp"
+
+namespace bsm::net {
+namespace {
+
+/// Sends one fixed 3-byte payload to every other party every round —
+/// traffic that does not depend on the inbox, so scheduled and synchronous
+/// runs send identically and only delivery-side counters may differ.
+class Flooder final : public Process {
+ public:
+  void on_round(Context& ctx, Inbox) override {
+    const std::uint32_t n = ctx.topology().n();
+    for (PartyId to = 0; to < n; ++to) {
+      if (to != ctx.self()) ctx.send(to, Bytes{1, 2, 3});
+    }
+  }
+};
+
+constexpr std::uint32_t kParties = 2;  // k = 2 -> n = 4
+constexpr Round kRounds = 6;
+
+[[nodiscard]] Engine flood_engine(std::unique_ptr<DeliveryPolicy> policy) {
+  Engine engine(Topology(TopologyKind::FullyConnected, kParties), 7);
+  if (policy != nullptr) engine.set_delivery_policy(std::move(policy));
+  for (PartyId id = 0; id < 2 * kParties; ++id) {
+    engine.set_process(id, std::make_unique<Flooder>());
+  }
+  return engine;
+}
+
+[[nodiscard]] std::unique_ptr<DeliveryPolicy> scripted(const char* text) {
+  const auto trace = sched::ScheduleTrace::parse(text);
+  EXPECT_TRUE(trace.has_value()) << text;
+  return std::make_unique<sched::ScriptedPolicy>(*trace);
+}
+
+TEST(Delivery, SynchronousPolicyMatchesNullPolicyExactly) {
+  Engine fast = flood_engine(nullptr);
+  Engine via_policy = flood_engine(std::make_unique<sched::SynchronousPolicy>());
+  fast.run(kRounds);
+  via_policy.run(kRounds);
+
+  for (PartyId id = 0; id < 2 * kParties; ++id) {
+    EXPECT_EQ(fast.view_hash(id), via_policy.view_hash(id)) << "party " << id;
+  }
+  EXPECT_TRUE(fast.stats() == via_policy.stats());
+  EXPECT_EQ(via_policy.pending_carried(), 0U);
+}
+
+TEST(Delivery, SynchronousDeliveryIsTheSendSideShiftedOneRound) {
+  Engine engine = flood_engine(nullptr);
+  engine.run(kRounds);
+  const auto& stats = engine.stats();
+
+  // Sent at r delivers at r + 1; the final round's sends are in flight.
+  for (Round r = 0; r + 1 < kRounds; ++r) {
+    EXPECT_EQ(stats.delivered_round(r + 1).messages, stats.round(r).messages) << "round " << r;
+    EXPECT_EQ(stats.delivered_round(r + 1).bytes, stats.round(r).bytes) << "round " << r;
+  }
+  EXPECT_EQ(stats.delivered_messages + stats.round(kRounds - 1).messages, stats.messages);
+  EXPECT_EQ(stats.dropped_messages, 0U);
+}
+
+TEST(Delivery, DelayedEnvelopesAttributeToTheirDeliveryRound) {
+  // Delay the whole 0 -> 2 group arriving at round 2 by two rounds; every
+  // other channel is untouched. Differential vs the synchronous run.
+  Engine sync = flood_engine(nullptr);
+  Engine delayed = flood_engine(scripted("delay@2:0>2*2"));
+  sync.run(kRounds);
+  delayed.run(kRounds);
+  const auto& a = sync.stats();
+  const auto& b = delayed.stats();
+
+  // The send side is schedule-independent (Flooder ignores its inbox).
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.per_round, b.per_round);
+  EXPECT_EQ(a.per_channel, b.per_channel);
+
+  // Delivery side: one message left round 2, reappeared at round 4.
+  EXPECT_EQ(b.delivered_round(2).messages, a.delivered_round(2).messages - 1);
+  EXPECT_EQ(b.delivered_round(4).messages, a.delivered_round(4).messages + 1);
+  for (const Round r : {1U, 3U, 5U}) {
+    EXPECT_EQ(b.delivered_round(r).messages, a.delivered_round(r).messages) << "round " << r;
+  }
+
+  // Totals and the per-channel matrix are conserved: the delayed envelope
+  // still reached channel (0, 2) within the run.
+  EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.delivered_channel(0, 2).messages, b.delivered_channel(0, 2).messages);
+  EXPECT_EQ(b.dropped_messages, 0U);
+  EXPECT_EQ(delayed.pending_carried(), 0U);
+}
+
+TEST(Delivery, CarriedPastTheEndStaysPendingAndIsConserved) {
+  Engine engine = flood_engine(scripted("delay@3:1>0*100;drop@2:0>1"));
+  engine.run(kRounds);
+  const auto& stats = engine.stats();
+
+  EXPECT_EQ(engine.pending_carried(), 1U);  // the delayed 1 -> 0 envelope
+  EXPECT_EQ(stats.dropped_messages, 1U);    // the dropped 0 -> 1 envelope
+  EXPECT_EQ(stats.dropped_bytes, 3U);
+
+  // Conservation: everything sent is delivered, dropped, still carried,
+  // or in flight from the final round.
+  EXPECT_EQ(stats.messages, stats.delivered_messages + stats.dropped_messages +
+                                engine.pending_carried() + stats.round(kRounds - 1).messages);
+}
+
+TEST(Delivery, PerChannelDeliveredCountersDecomposeTheTotal) {
+  Engine engine = flood_engine(scripted("drop@1:0>3;delay@2:2>1*1"));
+  engine.run(kRounds);
+  const auto& stats = engine.stats();
+
+  std::uint64_t sum = 0;
+  for (PartyId from = 0; from < 2 * kParties; ++from) {
+    for (PartyId to = 0; to < 2 * kParties; ++to) {
+      sum += stats.delivered_channel(from, to).messages;
+    }
+  }
+  EXPECT_EQ(sum, stats.delivered_messages);
+
+  std::uint64_t round_sum = 0;
+  for (Round r = 0; r <= kRounds; ++r) round_sum += stats.delivered_round(r).messages;
+  EXPECT_EQ(round_sum, stats.delivered_messages);
+}
+
+TEST(Delivery, ReorderDemotesAGroupWithoutLosingIt) {
+  Engine natural = flood_engine(nullptr);
+  Engine reordered = flood_engine(scripted("rank@2:0>1*1"));
+  natural.run(kRounds);
+  reordered.run(kRounds);
+
+  // Same delivery counts everywhere...
+  EXPECT_EQ(natural.stats().delivered_messages, reordered.stats().delivered_messages);
+  EXPECT_EQ(natural.stats().delivered_channel(0, 1).messages,
+            reordered.stats().delivered_channel(0, 1).messages);
+  // ...but party 1 saw round 2 in a different order (its view hash folds
+  // the inbox sequence), while everyone else is untouched.
+  EXPECT_NE(natural.view_hash(1), reordered.view_hash(1));
+  for (const PartyId id : {0U, 2U, 3U}) {
+    EXPECT_EQ(natural.view_hash(id), reordered.view_hash(id)) << "party " << id;
+  }
+}
+
+TEST(Delivery, DelayedDeliveryKeepsSenderOrderAmongCarriedAndFresh) {
+  // Delay 0 -> 1 at round 1 by one round: at round 2, party 1 receives the
+  // carried round-0 send of party 0 *before* party 0's fresh round-1 send
+  // (and before parties 2, 3). Verified via the observer's arrival order.
+  Engine engine = flood_engine(scripted("delay@1:0>1*1"));
+  std::vector<std::pair<Round, PartyId>> arrivals;  // (sent_round, from) seen by party 1
+  engine.set_observer([&](const Envelope& env) {
+    if (env.to == 1) arrivals.emplace_back(env.sent_round, env.from);
+  });
+  engine.run(3);
+
+  // Round 1: froms {2, 3} (the 0 -> 1 group was delayed).
+  // Round 2: carried (0, sent 0), fresh (0, sent 1), then 2, 3.
+  const std::vector<std::pair<Round, PartyId>> expected = {
+      {0, 2}, {0, 3}, {0, 0}, {1, 0}, {1, 2}, {1, 3}};
+  EXPECT_EQ(arrivals, expected);
+}
+
+TEST(Delivery, PolicySwapWithCarriedTrafficIsRejected) {
+  Engine engine = flood_engine(scripted("delay@1:0>1*50"));
+  engine.run(2);
+  ASSERT_EQ(engine.pending_carried(), 1U);
+  EXPECT_THROW(engine.set_delivery_policy(nullptr), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bsm::net

@@ -30,6 +30,7 @@
 #include "core/runner.hpp"
 #include "core/sweep.hpp"
 #include "matching/generators.hpp"
+#include "sched/explorer.hpp"
 
 namespace {
 
@@ -40,10 +41,11 @@ void usage() {
       R"(bsm_cli — byzantine stable matching toolkit
 
 usage:
-  bsm_cli [run] [flags]   run one scenario, print the outcome table
-  bsm_cli sweep [flags]   run a scenario grid in parallel, emit JSON on stdout
-  bsm_cli bench [flags]   run the benchmark suite, emit BENCH_results.json on stdout
-  bsm_cli --help          this text (also: bsm_cli SUBCOMMAND --help)
+  bsm_cli [run] [flags]     run one scenario, print the outcome table
+  bsm_cli sweep [flags]     run a scenario grid in parallel, emit JSON on stdout
+  bsm_cli explore [flags]   systematic delivery-schedule search, emit JSON on stdout
+  bsm_cli bench [flags]     run the benchmark suite, emit BENCH_results.json on stdout
+  bsm_cli --help            this text (also: bsm_cli SUBCOMMAND --help)
 
 run flags (exit 0 = all four bSM properties held, 1 = violation,
 2 = unsolvable setting or usage error):
@@ -68,9 +70,36 @@ held all four properties):
   --k LIST             comma list of market sizes      (default: 3)
   --tl LIST / --tr LIST  comma lists of budgets        (default: 0..k)
   --seeds N            workload seeds 1..N             (default: 2)
-  --battery LIST       comma list of silent,noise,liars,adaptive (default all)
+  --battery LIST       comma list of silent,noise,liars,adaptive,omission
+                       (default: all but omission)
+  --sched KIND         delivery schedule per cell: sync,delay,omit (default: sync;
+                       delay/omit perturb only corrupt-adjacent channels)
+  --sched-seeds N      fan each setting out over N schedule seeds  (default: 1)
   --threads N          worker threads, 0 = hardware    (default: 0)
   --schedule stealing|static  cell scheduler           (default: stealing)
+
+explore flags (bounded iterative-deepening search over per-round delivery
+perturbations — drop/delay/reorder of channel-round groups — of one
+scenario, pruned by per-round view-hash state digests; prints one JSON
+document with schedules explored/pruned, violations, and a minimized
+counterexample trace when one exists; exit 0 = every explored schedule
+satisfied all four properties, 1 = violation found, 2 = usage error or
+unsolvable setting):
+  --topology fully|one-sided|bipartite   topology       (default: fully)
+  --auth / --no-auth                     PKI available? (default: auth)
+  --k N / --tl N / --tr N    market size and budgets    (default: 2/1/0)
+  --seed S                   workload seed              (default: 1)
+  --battery KIND             silent,noise,liars,adaptive,omission (default: silent)
+  --max-depth N              max perturbation ops per schedule (default: 2)
+  --max-delay N              delay ops slip 1..N rounds (default: 1)
+  --horizon N                rounds to simulate, 0 = protocol deadline (default: 0)
+  --ops LIST                 comma list of drop,delay,reorder (default: drop,delay)
+  --include-honest           also perturb honest-honest channels (beyond the
+                             fault envelope; violations become expected)
+  --max-schedules N          cap on exploration runs    (default: 4096)
+  --threads N                per-wave fan-out, 0 = hardware (default: 0)
+  --replay TRACE             skip the search: replay one serialized schedule
+                             trace and report its outcome
 
 bench flags (runs every registered benchmark case group — the same cases
 the bench/ binaries run — and prints the versioned BENCH_results.json
@@ -105,6 +134,31 @@ case was ok and deterministic):
   return out;
 }
 
+[[nodiscard]] std::optional<core::Battery> parse_battery(const std::string& name) {
+  if (name == "silent") return core::Battery::Silent;
+  if (name == "noise") return core::Battery::Noise;
+  if (name == "liars") return core::Battery::Liars;
+  if (name == "adaptive") return core::Battery::AdaptiveCrash;
+  if (name == "omission") return core::Battery::Omission;
+  return std::nullopt;
+}
+
+[[nodiscard]] const char* battery_name(core::Battery battery) {
+  switch (battery) {
+    case core::Battery::Silent:
+      return "silent";
+    case core::Battery::Noise:
+      return "noise";
+    case core::Battery::Liars:
+      return "liars";
+    case core::Battery::AdaptiveCrash:
+      return "adaptive";
+    case core::Battery::Omission:
+      return "omission";
+  }
+  return "?";
+}
+
 int run_sweep_command(int argc, char** argv) {
   core::SweepGrid grid;
   grid.topologies = {net::TopologyKind::FullyConnected, net::TopologyKind::OneSided,
@@ -114,6 +168,8 @@ int run_sweep_command(int argc, char** argv) {
   grid.batteries = {core::Battery::Silent, core::Battery::Noise, core::Battery::Liars,
                     core::Battery::AdaptiveCrash};
   std::uint64_t num_seeds = 2;
+  std::uint64_t sched_seeds = 1;
+  sched::PolicyDesc sched_base;
   core::SweepOptions opts;
 
   for (int i = 2; i < argc; ++i) {
@@ -128,7 +184,7 @@ int run_sweep_command(int argc, char** argv) {
     }
     if (arg != "--topology" && arg != "--auth" && arg != "--k" && arg != "--tl" &&
         arg != "--tr" && arg != "--seeds" && arg != "--battery" && arg != "--threads" &&
-        arg != "--schedule") {
+        arg != "--schedule" && arg != "--sched" && arg != "--sched-seeds") {
       std::cerr << "unknown sweep argument: " << arg << " (try --help)\n";
       return 2;
     }
@@ -185,19 +241,31 @@ int run_sweep_command(int argc, char** argv) {
     } else if (arg == "--battery") {
       grid.batteries.clear();
       for (const auto& b : split_csv(*value)) {
-        if (b == "silent") {
-          grid.batteries.push_back(core::Battery::Silent);
-        } else if (b == "noise") {
-          grid.batteries.push_back(core::Battery::Noise);
-        } else if (b == "liars") {
-          grid.batteries.push_back(core::Battery::Liars);
-        } else if (b == "adaptive") {
-          grid.batteries.push_back(core::Battery::AdaptiveCrash);
-        } else {
+        const auto battery = parse_battery(b);
+        if (!battery) {
           std::cerr << "unknown battery: " << b << "\n";
           return 2;
         }
+        grid.batteries.push_back(*battery);
       }
+    } else if (arg == "--sched") {
+      if (*value == "sync") {
+        sched_base.kind = sched::PolicyDesc::Kind::Synchronous;
+      } else if (*value == "delay") {
+        sched_base.kind = sched::PolicyDesc::Kind::RandomDelay;
+      } else if (*value == "omit") {
+        sched_base.kind = sched::PolicyDesc::Kind::TargetedOmission;
+      } else {
+        std::cerr << "unknown --sched value: " << *value << " (sync|delay|omit)\n";
+        return 2;
+      }
+    } else if (arg == "--sched-seeds") {
+      const auto parsed = parse_u64(*value);
+      if (!parsed || *parsed == 0 || *parsed > 10000) {
+        std::cerr << "bad --sched-seeds value: " << *value << " (expected 1..10000)\n";
+        return 2;
+      }
+      sched_seeds = *parsed;
     } else if (arg == "--schedule") {
       if (*value == "stealing") {
         opts.schedule = core::Schedule::WorkStealing;
@@ -218,6 +286,7 @@ int run_sweep_command(int argc, char** argv) {
   }
   grid.seeds.clear();
   for (std::uint64_t s = 1; s <= num_seeds; ++s) grid.seeds.push_back(s);
+  grid.scheds = core::schedule_axis(sched_base, sched_seeds);
 
   core::SweepStats stats;
   const auto results = core::run_sweep(grid.cells(), opts, &stats);
@@ -234,6 +303,11 @@ int run_sweep_command(int argc, char** argv) {
               << ", \"input_seed\": " << cell.scenario.input_seed
               << ", \"adversaries\": " << cell.scenario.adversaries.size()
               << ", \"solvable\": " << (cell.solvable ? "true" : "false");
+    if (!cell.scenario.sched.is_synchronous()) {
+      const char* kind =
+          cell.scenario.sched.kind == sched::PolicyDesc::Kind::RandomDelay ? "delay" : "omit";
+      std::cout << ", \"sched\": \"" << kind << "\", \"sched_seed\": " << cell.scenario.sched.seed;
+    }
     if (cell.outcome.has_value()) {
       ++ran;
       const auto& out = *cell.outcome;
@@ -259,6 +333,178 @@ int run_sweep_command(int argc, char** argv) {
             << ", \"hit_rate\": " << hit_rate.str()
             << "},\n  \"all_properties_held\": " << (all_ok ? "true" : "false") << "\n}\n";
   return all_ok ? 0 : 1;
+}
+
+// ----------------------------------------------------------- explore mode
+
+[[nodiscard]] std::string views_json(const std::vector<std::uint64_t>& views) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(views[i]);
+  }
+  return out + "]";
+}
+
+int run_explore_command(int argc, char** argv) {
+  core::ScenarioSpec scenario;
+  scenario.config = core::BsmConfig{net::TopologyKind::FullyConnected, true, 2, 1, 0};
+  std::uint64_t seed = 1;
+  core::Battery battery = core::Battery::Silent;
+  sched::ExplorerOptions opts;
+  std::optional<std::string> replay;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help") {
+      usage();
+      return 0;
+    }
+    if (arg == "--auth") {
+      scenario.config.authenticated = true;
+      continue;
+    }
+    if (arg == "--no-auth") {
+      scenario.config.authenticated = false;
+      continue;
+    }
+    if (arg == "--include-honest") {
+      opts.corrupt_adjacent_only = false;
+      continue;
+    }
+    if (arg != "--topology" && arg != "--k" && arg != "--tl" && arg != "--tr" &&
+        arg != "--seed" && arg != "--battery" && arg != "--max-depth" && arg != "--max-delay" &&
+        arg != "--horizon" && arg != "--ops" && arg != "--max-schedules" && arg != "--threads" &&
+        arg != "--replay") {
+      std::cerr << "unknown explore argument: " << arg << " (try --help)\n";
+      return 2;
+    }
+    const auto value = next();
+    if (!value) {
+      std::cerr << "missing value for " << arg << "\n";
+      return 2;
+    }
+    if (arg == "--topology") {
+      if (*value == "fully") {
+        scenario.config.topology = net::TopologyKind::FullyConnected;
+      } else if (*value == "one-sided") {
+        scenario.config.topology = net::TopologyKind::OneSided;
+      } else if (*value == "bipartite") {
+        scenario.config.topology = net::TopologyKind::Bipartite;
+      } else {
+        std::cerr << "unknown topology: " << *value << "\n";
+        return 2;
+      }
+    } else if (arg == "--battery") {
+      const auto parsed = parse_battery(*value);
+      if (!parsed) {
+        std::cerr << "unknown battery: " << *value << "\n";
+        return 2;
+      }
+      battery = *parsed;
+    } else if (arg == "--ops") {
+      opts.allow_drop = opts.allow_delay = opts.allow_reorder = false;
+      for (const auto& op : split_csv(*value)) {
+        if (op == "drop") {
+          opts.allow_drop = true;
+        } else if (op == "delay") {
+          opts.allow_delay = true;
+        } else if (op == "reorder") {
+          opts.allow_reorder = true;
+        } else {
+          std::cerr << "unknown --ops value: " << op << " (drop|delay|reorder)\n";
+          return 2;
+        }
+      }
+    } else if (arg == "--replay") {
+      replay = *value;
+    } else {
+      const auto parsed = parse_u64(*value);
+      if (!parsed || *parsed > 1'000'000) {
+        std::cerr << "bad " << arg << " value: " << *value << " (expected 0..1000000)\n";
+        return 2;
+      }
+      const auto v = static_cast<std::uint32_t>(*parsed);
+      if (arg == "--k") scenario.config.k = v;
+      if (arg == "--tl") scenario.config.tl = v;
+      if (arg == "--tr") scenario.config.tr = v;
+      if (arg == "--seed") seed = v;
+      if (arg == "--max-depth") opts.max_depth = v;
+      if (arg == "--max-delay") opts.max_delay = v;
+      if (arg == "--horizon") opts.horizon = v;
+      if (arg == "--max-schedules") opts.max_schedules = v;
+      if (arg == "--threads") opts.threads = static_cast<unsigned>(v);
+    }
+  }
+
+  if (!core::solvable(scenario.config)) {
+    std::cerr << "unsolvable setting: " << core::solvability_reason(scenario.config) << "\n";
+    return 2;
+  }
+  scenario.input_seed = seed;
+  scenario.pki_seed = seed + 1;
+  core::apply_battery(scenario, battery, seed);
+
+  if (replay.has_value()) {
+    const auto trace = sched::ScheduleTrace::parse(*replay);
+    if (!trace) {
+      std::cerr << "bad --replay trace: " << *replay << "\n";
+      return 2;
+    }
+    scenario.sched.kind = sched::PolicyDesc::Kind::Scripted;
+    scenario.sched.trace = *trace;
+    // Honor --horizon exactly like the search does (horizon 0 = the
+    // protocol deadline), so a counterexample found under a truncated
+    // horizon reproduces on replay.
+    auto run = core::assemble_run(core::to_run_spec(scenario));
+    run.engine.run(opts.horizon == 0 ? run.rounds : opts.horizon);
+    const core::RunOutcome out = core::collect_outcome(run);
+    std::cout << "{\n  \"replay\": {\"trace\": \"" << json_escape(trace->serialize())
+              << "\", \"ops\": " << trace->ops.size() << ", \"rounds\": " << out.rounds
+              << ", \"messages\": " << out.traffic.messages
+              << ", \"delivered\": " << out.traffic.delivered_messages
+              << ", \"dropped\": " << out.traffic.dropped_messages
+              << ", \"all_properties\": " << (out.report.all() ? "true" : "false")
+              << ",\n    \"views\": " << views_json(out.view_hashes) << "}\n}\n";
+    return out.report.all() ? 0 : 1;
+  }
+
+  const auto report = sched::explore(scenario, opts);
+
+  std::cout << "{\n  \"scenario\": {\"topology\": \""
+            << json_escape(net::to_string(scenario.config.topology))
+            << "\", \"auth\": " << (scenario.config.authenticated ? "true" : "false")
+            << ", \"k\": " << scenario.config.k << ", \"tl\": " << scenario.config.tl
+            << ", \"tr\": " << scenario.config.tr << ", \"seed\": " << seed << ", \"battery\": \""
+            << battery_name(battery) << "\", \"adversaries\": " << scenario.adversaries.size()
+            << "},\n";
+  std::cout << "  \"options\": {\"max_depth\": " << opts.max_depth
+            << ", \"max_delay\": " << opts.max_delay << ", \"horizon\": " << opts.horizon
+            << ", \"drop\": " << (opts.allow_drop ? "true" : "false")
+            << ", \"delay\": " << (opts.allow_delay ? "true" : "false")
+            << ", \"reorder\": " << (opts.allow_reorder ? "true" : "false")
+            << ", \"corrupt_adjacent_only\": " << (opts.corrupt_adjacent_only ? "true" : "false")
+            << ", \"max_schedules\": " << opts.max_schedules << "},\n";
+  std::cout << "  \"schedules\": {\"explored\": " << report.explored
+            << ", \"pruned\": " << report.pruned << ", \"violations\": " << report.violations
+            << ", \"depth_reached\": " << report.depth_reached
+            << ", \"truncated\": " << (report.truncated ? "true" : "false") << "},\n";
+  std::cout << "  \"all_satisfied\": " << (report.all_satisfied() ? "true" : "false") << ",\n";
+  if (report.counterexample.has_value()) {
+    std::cout << "  \"counterexample\": {\"trace\": \""
+              << json_escape(report.counterexample->serialize())
+              << "\", \"ops\": " << report.counterexample->ops.size()
+              << ", \"shrink_runs\": " << report.shrink_runs
+              << ",\n    \"views\": " << views_json(report.counterexample_views) << "}\n";
+  } else {
+    std::cout << "  \"counterexample\": null\n";
+  }
+  std::cout << "}\n";
+  return report.all_satisfied() ? 0 : 1;
 }
 
 struct Options {
@@ -358,6 +604,7 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     const std::string sub = argv[1];
     if (sub == "sweep") return run_sweep_command(argc, argv);
+    if (sub == "explore") return run_explore_command(argc, argv);
     if (sub == "bench") {
       // The registered suite = every case group the bench/ binaries run.
       benchcases::register_all();

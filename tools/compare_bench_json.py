@@ -69,6 +69,15 @@ def compare(base, cur, threshold):
     return rows, added, removed, deltas
 
 
+LIST_CAP = 20  # names listed explicitly before "(+K more)"
+
+
+def fmt_names(names):
+    listed = ", ".join(names[:LIST_CAP])
+    more = len(names) - LIST_CAP
+    return listed + (f" (+{more} more)" if more > 0 else "")
+
+
 def render_text(rows, added, removed, base, cur):
     out = [f"baseline git {base.get('git_sha')} ({base.get('threads')} threads) vs "
            f"current git {cur.get('git_sha')} ({cur.get('threads')} threads)"]
@@ -79,13 +88,15 @@ def render_text(rows, added, removed, base, cur):
         out.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
         for r in rows:
             out.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
-    for name in added:
-        out.append(f"added:   {name} (no baseline)")
+    if added:
+        # New bench groups/cases land here: name them all (capped) so a new
+        # group is visible in the diff, not silently absorbed.
+        out.append(f"added ({len(added)}, no baseline): {fmt_names(added)}")
     if removed:
-        # One summary line: a filtered current run (e.g. CI's smoke slice vs
+        # Capped listing: a filtered current run (e.g. CI's smoke slice vs
         # the full-suite seed) would otherwise drown the table in rows.
-        out.append(f"baseline-only: {len(removed)} case(s) not in the current run "
-                   f"(first: {removed[0]})")
+        out.append(f"baseline-only ({len(removed)}, filtered or removed): "
+                   f"{fmt_names(removed)}")
     return "\n".join(out)
 
 
@@ -100,12 +111,14 @@ def render_markdown(rows, added, removed, base, cur):
            "|---|---:|---:|---:|---|---|---|"]
     for r in rows:
         out.append("| " + " | ".join(("`" + r[0] + "`",) + r[1:]) + " |")
-    for name in added:
-        out.append(f"| `{name}` | — | new | | | | |")
+    if added:
+        out.append("")
+        out.append(f"**Added cases ({len(added)}, no baseline):** "
+                   + fmt_names([f"`{n}`" for n in added]))
     if removed:
         out.append("")
-        out.append(f"{len(removed)} baseline case(s) not in the current run "
-                   "(filtered or removed).")
+        out.append(f"**Baseline-only cases ({len(removed)}, filtered or removed):** "
+                   + fmt_names([f"`{n}`" for n in removed]))
     return "\n".join(out)
 
 
