@@ -1,0 +1,11 @@
+// Big-n scale group: the lazy-view matching fast path to n = 10^6, the
+// materialized O(1) rank index, PartySet block-popcount kernels, and the
+// sparse-stats engine at sizes the dense channel matrices cannot reach.
+// Case logic: bench/cases/cases_scale.cpp.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
+
+int main(int argc, char** argv) {
+  bsm::benchcases::register_scale();
+  return bsm::core::bench_main(argc, argv);
+}

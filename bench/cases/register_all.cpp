@@ -19,6 +19,7 @@ void register_all() {
   register_oracle_cache();
   register_broadcast_kernel();
   register_sched();
+  register_scale();
 }
 
 }  // namespace bsm::benchcases

@@ -18,6 +18,7 @@
 #include <bit>
 #include <cstdint>
 #include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -66,20 +67,83 @@ class PartySet {
     for (auto& w : words_) w = 0;
   }
 
+  /// Popcount sweep, unrolled over 4-word blocks (independent accumulators
+  /// keep the popcnt units busy on big-n sets spanning thousands of words).
   [[nodiscard]] std::uint32_t count() const noexcept {
-    std::uint32_t n = 0;
-    for (std::uint64_t w : words_) n += static_cast<std::uint32_t>(std::popcount(w));
-    return n;
+    const std::uint64_t* w = words_.data();
+    const std::size_t n = words_.size();
+    std::uint32_t c0 = 0;
+    std::uint32_t c1 = 0;
+    std::uint32_t c2 = 0;
+    std::uint32_t c3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      c0 += static_cast<std::uint32_t>(std::popcount(w[i]));
+      c1 += static_cast<std::uint32_t>(std::popcount(w[i + 1]));
+      c2 += static_cast<std::uint32_t>(std::popcount(w[i + 2]));
+      c3 += static_cast<std::uint32_t>(std::popcount(w[i + 3]));
+    }
+    std::uint32_t c = c0 + c1 + c2 + c3;
+    for (; i < n; ++i) c += static_cast<std::uint32_t>(std::popcount(w[i]));
+    return c;
   }
 
-  /// |this AND mask| without materializing the intersection.
+  /// |this AND mask| without materializing the intersection. Word counts
+  /// may differ (sets grow on demand): the sweep iterates the *shorter*
+  /// span explicitly — ids beyond either operand's words cannot intersect.
   [[nodiscard]] std::uint32_t count_and(const PartySet& mask) const noexcept {
+    const std::uint64_t* a = words_.data();
+    const std::uint64_t* b = mask.words_.data();
     const std::size_t n = words_.size() < mask.words_.size() ? words_.size() : mask.words_.size();
-    std::uint32_t c = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      c += static_cast<std::uint32_t>(std::popcount(words_[i] & mask.words_[i]));
+    std::uint32_t c0 = 0;
+    std::uint32_t c1 = 0;
+    std::uint32_t c2 = 0;
+    std::uint32_t c3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      c0 += static_cast<std::uint32_t>(std::popcount(a[i] & b[i]));
+      c1 += static_cast<std::uint32_t>(std::popcount(a[i + 1] & b[i + 1]));
+      c2 += static_cast<std::uint32_t>(std::popcount(a[i + 2] & b[i + 2]));
+      c3 += static_cast<std::uint32_t>(std::popcount(a[i + 3] & b[i + 3]));
     }
+    std::uint32_t c = c0 + c1 + c2 + c3;
+    for (; i < n; ++i) c += static_cast<std::uint32_t>(std::popcount(a[i] & b[i]));
     return c;
+  }
+
+  /// One-pass |this AND a| and |this AND b|: this set's words are read
+  /// once and counted against both masks (the product-quorum side split —
+  /// two count_and calls would stream the holder words twice). Each
+  /// pairing is clipped to its shorter span, like count_and.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> count_and2(const PartySet& a,
+                                                                   const PartySet& b) const
+      noexcept {
+    const std::uint64_t* w = words_.data();
+    const std::uint64_t* wa = a.words_.data();
+    const std::uint64_t* wb = b.words_.data();
+    const std::size_t na = words_.size() < a.words_.size() ? words_.size() : a.words_.size();
+    const std::size_t nb = words_.size() < b.words_.size() ? words_.size() : b.words_.size();
+    const std::size_t both = na < nb ? na : nb;
+    std::uint32_t ca = 0;
+    std::uint32_t cb = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= both; i += 4) {
+      ca += static_cast<std::uint32_t>(std::popcount(w[i] & wa[i])) +
+            static_cast<std::uint32_t>(std::popcount(w[i + 1] & wa[i + 1])) +
+            static_cast<std::uint32_t>(std::popcount(w[i + 2] & wa[i + 2])) +
+            static_cast<std::uint32_t>(std::popcount(w[i + 3] & wa[i + 3]));
+      cb += static_cast<std::uint32_t>(std::popcount(w[i] & wb[i])) +
+            static_cast<std::uint32_t>(std::popcount(w[i + 1] & wb[i + 1])) +
+            static_cast<std::uint32_t>(std::popcount(w[i + 2] & wb[i + 2])) +
+            static_cast<std::uint32_t>(std::popcount(w[i + 3] & wb[i + 3]));
+    }
+    for (; i < both; ++i) {
+      ca += static_cast<std::uint32_t>(std::popcount(w[i] & wa[i]));
+      cb += static_cast<std::uint32_t>(std::popcount(w[i] & wb[i]));
+    }
+    for (; i < na; ++i) ca += static_cast<std::uint32_t>(std::popcount(w[i] & wa[i]));
+    for (; i < nb; ++i) cb += static_cast<std::uint32_t>(std::popcount(w[i] & wb[i]));
+    return {ca, cb};
   }
 
   [[nodiscard]] bool empty() const noexcept {

@@ -27,7 +27,7 @@ AssembledRun assemble_run(RunSpec spec) {
   require(spec.inputs.k() == cfg.k, "run_bsm: inputs sized for a different market");
   const ProtocolSpec proto = spec_for(spec);
 
-  net::Engine engine(net::Topology(cfg.topology, cfg.k), spec.pki_seed);
+  net::Engine engine(net::Topology(cfg.topology, cfg.k), spec.pki_seed, spec.stats_mode);
   if (spec.policy != nullptr) engine.set_delivery_policy(std::move(spec.policy));
 
   for (PartyId id = 0; id < cfg.n(); ++id) {

@@ -43,6 +43,11 @@ struct RunSpec {
   /// net/delivery.hpp); nullptr = the synchronous fast path. Materialized
   /// from ScenarioSpec::sched by to_run_spec().
   std::unique_ptr<net::DeliveryPolicy> policy;
+
+  /// Per-channel stats representation for the engine (see net::StatsMode).
+  /// Dense (the historical default) keeps TrafficStats byte-identical;
+  /// Sparse is the big-n mode that avoids the O(n^2) channel matrices.
+  net::StatsMode stats_mode = net::StatsMode::Dense;
 };
 
 struct RunOutcome {

@@ -81,6 +81,11 @@ struct ScenarioSpec {
   /// the `adversaries` ids, so a perturbed run stays inside the setting's
   /// byzantine guarantees.
   sched::PolicyDesc sched;
+
+  /// Per-channel stats representation (copied into RunSpec::stats_mode).
+  /// Dense keeps the historical byte-identical TrafficStats; Sparse is the
+  /// big-n mode whose channel memory scales with active channels.
+  net::StatsMode stats_mode = net::StatsMode::Dense;
 };
 
 /// Corrupt the full per-side budget of `spec.config` with `battery`;

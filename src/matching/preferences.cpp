@@ -38,6 +38,7 @@ void PreferenceProfile::set(PartyId id, PreferenceList list) {
   require(is_valid_preference_list(list, side_of(id, k_), k_),
           "PreferenceProfile::set: invalid list");
   lists_[id] = std::move(list);
+  inverse_[id].clear();  // invalidate the party's inverse-rank index
 }
 
 const PreferenceList& PreferenceProfile::list(PartyId id) const {
@@ -45,15 +46,13 @@ const PreferenceList& PreferenceProfile::list(PartyId id) const {
   return lists_[id];
 }
 
-std::uint32_t PreferenceProfile::rank(PartyId id, PartyId candidate) const {
-  const auto& l = list(id);
-  const auto it = std::find(l.begin(), l.end(), candidate);
-  require(it != l.end(), "PreferenceProfile::rank: candidate not in list");
-  return static_cast<std::uint32_t>(it - l.begin());
-}
-
-bool PreferenceProfile::prefers(PartyId id, PartyId a, PartyId b) const {
-  return rank(id, a) < rank(id, b);
+void PreferenceProfile::build_inverse(PartyId id) const {
+  auto& inv = inverse_[id];
+  inv.assign(k_, UINT32_MAX);
+  const auto& l = lists_[id];
+  for (std::uint32_t i = 0; i < l.size(); ++i) {
+    inv[l[i] < k_ ? l[i] : l[i] - k_] = i;
+  }
 }
 
 bool PreferenceProfile::complete() const {

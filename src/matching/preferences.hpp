@@ -39,7 +39,7 @@ using PreferenceList = std::vector<PartyId>;
 class PreferenceProfile {
  public:
   PreferenceProfile() = default;
-  explicit PreferenceProfile(std::uint32_t k) : k_(k), lists_(2 * k) {}
+  explicit PreferenceProfile(std::uint32_t k) : k_(k), lists_(2 * k), inverse_(2 * k) {}
 
   [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
   [[nodiscard]] std::uint32_t n() const noexcept { return 2 * k_; }
@@ -48,18 +48,76 @@ class PreferenceProfile {
   [[nodiscard]] const PreferenceList& list(PartyId id) const;
 
   /// Rank of `candidate` in `id`'s list: 0 = most preferred. Parties always
-  /// prefer any listed candidate over being alone.
-  [[nodiscard]] std::uint32_t rank(PartyId id, PartyId candidate) const;
+  /// prefer any listed candidate over being alone. O(1): served from a
+  /// lazily-built inverse-rank index (built on the first rank query per
+  /// party, invalidated by set()). Defined inline — this is the
+  /// Gale-Shapley / stability-scan hot path and must fold into the caller's
+  /// loop like the flat rank table it replaced.
+  [[nodiscard]] std::uint32_t rank(PartyId id, PartyId candidate) const {
+    require(id < lists_.size(), "PreferenceProfile::rank: bad id");
+    const auto& inv = inverse_for(id);
+    const std::uint32_t local = candidate < k_ ? candidate : candidate - k_;
+    require(candidate < 2 * k_ && side_of(candidate, k_) != side_of(id, k_) &&
+                local < inv.size() && inv[local] != UINT32_MAX,
+            "PreferenceProfile::rank: candidate not in list");
+    return inv[local];
+  }
 
-  /// Does `id` strictly prefer `a` over `b`?
-  [[nodiscard]] bool prefers(PartyId id, PartyId a, PartyId b) const;
+  /// Does `id` strictly prefer `a` over `b`? The index is fetched once and
+  /// both candidates validated against it — not two rank() calls, which
+  /// would pay the id checks and the lazy-build branch twice per proposal.
+  [[nodiscard]] bool prefers(PartyId id, PartyId a, PartyId b) const {
+    require(id < lists_.size(), "PreferenceProfile::rank: bad id");
+    const auto& inv = inverse_for(id);
+    const Side own = side_of(id, k_);
+    const std::uint32_t la = a < k_ ? a : a - k_;
+    const std::uint32_t lb = b < k_ ? b : b - k_;
+    require(a < 2 * k_ && side_of(a, k_) != own && la < inv.size() && inv[la] != UINT32_MAX,
+            "PreferenceProfile::rank: candidate not in list");
+    require(b < 2 * k_ && side_of(b, k_) != own && lb < inv.size() && inv[lb] != UINT32_MAX,
+            "PreferenceProfile::rank: candidate not in list");
+    return inv[la] < inv[lb];
+  }
+
+  /// Hot-loop variants of rank()/prefers() with the argument validation
+  /// elided: two index loads and a compare, like the flat rank table they
+  /// replaced. Preconditions (caller's responsibility): `id` has a valid
+  /// list and `a`/`b`/`candidate` are in-range opposite-side ids — exactly
+  /// what gale_shapley() establishes once via complete() before the
+  /// proposal loop, instead of re-checking on each of its O(k^2) queries.
+  [[nodiscard]] std::uint32_t rank_unchecked(PartyId id, PartyId candidate) const {
+    const auto& inv = inverse_for(id);
+    return inv[candidate < k_ ? candidate : candidate - k_];
+  }
+
+  [[nodiscard]] bool prefers_unchecked(PartyId id, PartyId a, PartyId b) const {
+    const auto& inv = inverse_for(id);
+    return inv[a < k_ ? a : a - k_] < inv[b < k_ ? b : b - k_];
+  }
 
   /// All lists present and valid?
   [[nodiscard]] bool complete() const;
 
  private:
+  // Hot: one empty-check on the index row itself — build_inverse() leaves a
+  // non-empty row even for an unset list (all UINT32_MAX), so the branch
+  // settles after the first query and never touches lists_ again.
+  [[nodiscard]] const std::vector<std::uint32_t>& inverse_for(PartyId id) const {
+    auto& inv = inverse_[id];
+    if (inv.empty()) build_inverse(id);
+    return inv;
+  }
+
+  void build_inverse(PartyId id) const;
+
   std::uint32_t k_ = 0;
   std::vector<PreferenceList> lists_;
+  // inverse_[id][candidate mod k] = rank of candidate in id's list (every
+  // list ranks exactly one side, so candidate ids collapse onto [0, k)).
+  // Built lazily per party by rank(); set() clears the party's entry. Not
+  // safe to race a *first* rank query across threads — profiles are
+  // per-worker by construction (see core::SweepArena).
+  mutable std::vector<std::vector<std::uint32_t>> inverse_;
 };
 
 }  // namespace bsm::matching

@@ -226,14 +226,26 @@ std::optional<RoommateMatching> stable_roommates(const RoommatePreferences& pref
 std::vector<std::pair<PartyId, PartyId>> roommate_blocking_pairs(
     const RoommatePreferences& prefs, const RoommateMatching& m) {
   const std::uint32_t n = static_cast<std::uint32_t>(prefs.size());
+  require(m.size() == n, "roommate_blocking_pairs: matching size mismatch");
+  // One flat rank table up front makes the pair scan O(n^2) instead of the
+  // O(n^3) the per-query list scans of roommate_rank() would cost. O(n^2)
+  // memory matches the profile itself.
+  std::vector<std::uint32_t> rank(static_cast<std::size_t>(n) * n, UINT32_MAX);
+  for (PartyId x = 0; x < n; ++x) {
+    require(m[x] == kNobody || (m[x] < n && m[x] != x), "roommate_blocking_pairs: bad matching");
+    for (std::uint32_t i = 0; i < prefs[x].size(); ++i) {
+      rank[static_cast<std::size_t>(x) * n + prefs[x][i]] = i;
+    }
+  }
+  const auto rank_of = [&](PartyId x, PartyId y) {
+    return rank[static_cast<std::size_t>(x) * n + y];
+  };
   std::vector<std::pair<PartyId, PartyId>> out;
   for (PartyId x = 0; x < n; ++x) {
     for (PartyId y = x + 1; y < n; ++y) {
       if (m[x] == y) continue;
-      const bool x_wants =
-          m[x] == kNobody || roommate_rank(prefs, x, y) < roommate_rank(prefs, x, m[x]);
-      const bool y_wants =
-          m[y] == kNobody || roommate_rank(prefs, y, x) < roommate_rank(prefs, y, m[y]);
+      const bool x_wants = m[x] == kNobody || rank_of(x, y) < rank_of(x, m[x]);
+      const bool y_wants = m[y] == kNobody || rank_of(y, x) < rank_of(y, m[y]);
       if (x_wants && y_wants) out.emplace_back(x, y);
     }
   }

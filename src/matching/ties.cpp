@@ -23,6 +23,7 @@ void TiedProfile::set(PartyId id, TieredList tiers) {
   }
   require(count == k_, "TiedProfile::set: tiers must cover the opposite side");
   lists_[id] = std::move(tiers);
+  inverse_[id].clear();  // invalidate the party's tier index
 }
 
 const TieredList& TiedProfile::tiers(PartyId id) const {
@@ -31,12 +32,20 @@ const TieredList& TiedProfile::tiers(PartyId id) const {
 }
 
 std::uint32_t TiedProfile::tier_of(PartyId id, PartyId candidate) const {
-  const auto& tiers = lists_[id];
-  for (std::uint32_t t = 0; t < tiers.size(); ++t) {
-    if (std::find(tiers[t].begin(), tiers[t].end(), candidate) != tiers[t].end()) return t;
+  require(id < lists_.size(), "TiedProfile::tier_of: bad id");
+  auto& inv = inverse_[id];
+  if (inv.empty() && !lists_[id].empty()) {
+    inv.assign(k_, UINT32_MAX);
+    const auto& tiers = lists_[id];
+    for (std::uint32_t t = 0; t < tiers.size(); ++t) {
+      for (PartyId c : tiers[t]) inv[c < k_ ? c : c - k_] = t;
+    }
   }
-  require(false, "TiedProfile::tier_of: candidate not listed");
-  return 0;
+  const std::uint32_t local = candidate < k_ ? candidate : candidate - k_;
+  require(candidate < 2 * k_ && side_of(candidate, k_) != side_of(id, k_) && local < inv.size() &&
+              inv[local] != UINT32_MAX,
+          "TiedProfile::tier_of: candidate not listed");
+  return inv[local];
 }
 
 bool TiedProfile::strictly_prefers(PartyId id, PartyId a, PartyId b) const {

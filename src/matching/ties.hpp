@@ -23,7 +23,7 @@ using TieredList = std::vector<std::vector<PartyId>>;
 class TiedProfile {
  public:
   TiedProfile() = default;
-  explicit TiedProfile(std::uint32_t k) : k_(k), lists_(2 * k) {}
+  explicit TiedProfile(std::uint32_t k) : k_(k), lists_(2 * k), inverse_(2 * k) {}
 
   [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
   [[nodiscard]] std::uint32_t n() const noexcept { return 2 * k_; }
@@ -32,7 +32,9 @@ class TiedProfile {
   void set(PartyId id, TieredList tiers);
   [[nodiscard]] const TieredList& tiers(PartyId id) const;
 
-  /// Tier index of candidate (0 best).
+  /// Tier index of candidate (0 best). O(1): served from a lazily-built
+  /// inverse tier index (built on the first query per party, invalidated
+  /// by set()) — the weak-stability scan is O(k^2), not O(k^3).
   [[nodiscard]] std::uint32_t tier_of(PartyId id, PartyId candidate) const;
   /// Strict preference: a in a strictly better tier than b.
   [[nodiscard]] bool strictly_prefers(PartyId id, PartyId a, PartyId b) const;
@@ -42,6 +44,9 @@ class TiedProfile {
  private:
   std::uint32_t k_ = 0;
   std::vector<TieredList> lists_;
+  // inverse_[id][candidate mod k] = candidate's tier. Same lazy-build /
+  // invalidate-on-set discipline as PreferenceProfile's inverse-rank index.
+  mutable std::vector<std::vector<std::uint32_t>> inverse_;
 };
 
 /// Break every tie by ascending id (deterministic — all honest parties

@@ -61,7 +61,59 @@ class EngineContext final : public Context {
   std::size_t last_idx_ = SIZE_MAX;  ///< index of this context's last send
 };
 
+/// Slot index for `key`: splitmix64 finalizer spreads the sequential
+/// from * n + to keys across the power-of-two table.
+std::size_t probe_home(std::uint64_t key, std::size_t capacity) noexcept {
+  std::uint64_t x = key + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x) & (capacity - 1);
+}
+
 }  // namespace
+
+TrafficStats::Counter& TrafficStats::SparseChannels::upsert(std::uint64_t key) {
+  if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) grow();
+  std::size_t i = probe_home(key, slots_.size());
+  while (slots_[i].key != kEmpty && slots_[i].key != key) i = (i + 1) & (slots_.size() - 1);
+  if (slots_[i].key == kEmpty) {
+    slots_[i].key = key;
+    ++size_;
+  }
+  return slots_[i].counter;
+}
+
+const TrafficStats::Counter* TrafficStats::SparseChannels::find(std::uint64_t key) const noexcept {
+  if (slots_.empty()) return nullptr;
+  std::size_t i = probe_home(key, slots_.size());
+  while (slots_[i].key != kEmpty) {
+    if (slots_[i].key == key) return &slots_[i].counter;
+    i = (i + 1) & (slots_.size() - 1);
+  }
+  return nullptr;
+}
+
+void TrafficStats::SparseChannels::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.empty() ? 64 : old.size() * 2, Slot{});
+  for (const Slot& s : old) {
+    if (s.key == kEmpty) continue;
+    std::size_t i = probe_home(s.key, slots_.size());
+    while (slots_[i].key != kEmpty) i = (i + 1) & (slots_.size() - 1);
+    slots_[i] = s;
+  }
+}
+
+bool TrafficStats::SparseChannels::operator==(const SparseChannels& o) const noexcept {
+  if (size_ != o.size_) return false;
+  for (const Slot& s : slots_) {
+    if (s.key == kEmpty) continue;
+    const Counter* c = o.find(s.key);
+    if (c == nullptr || !(*c == s.counter)) return false;
+  }
+  return true;
+}
 
 void TrafficStats::note_send(PartyId from, PartyId to, Round round, std::size_t payload_bytes) {
   ++messages;
@@ -70,7 +122,8 @@ void TrafficStats::note_send(PartyId from, PartyId to, Round round, std::size_t 
   ++per_round[round].messages;
   per_round[round].bytes += payload_bytes;
   if (n != 0) {
-    auto& ch = per_channel[static_cast<std::size_t>(from) * n + to];
+    const std::size_t key = static_cast<std::size_t>(from) * n + to;
+    auto& ch = mode == StatsMode::Dense ? per_channel[key] : sparse_channels.upsert(key);
     ++ch.messages;
     ch.bytes += payload_bytes;
   }
@@ -84,7 +137,8 @@ void TrafficStats::note_delivery(PartyId from, PartyId to, Round round,
   ++delivered_per_round[round].messages;
   delivered_per_round[round].bytes += payload_bytes;
   if (n != 0) {
-    auto& ch = delivered_per_channel[static_cast<std::size_t>(from) * n + to];
+    const std::size_t key = static_cast<std::size_t>(from) * n + to;
+    auto& ch = mode == StatsMode::Dense ? delivered_per_channel[key] : sparse_delivered.upsert(key);
     ++ch.messages;
     ch.bytes += payload_bytes;
   }
@@ -95,9 +149,18 @@ void TrafficStats::note_drop(PartyId, PartyId, std::size_t payload_bytes) {
   dropped_bytes += payload_bytes;
 }
 
+namespace {
+// Returned for sparse channels that never saw traffic — by construction the
+// zero counter, same as the untouched dense matrix entry.
+const TrafficStats::Counter kZeroCounter{};
+}  // namespace
+
 const TrafficStats::Counter& TrafficStats::channel(PartyId from, PartyId to) const {
   require(n != 0 && from < n && to < n, "TrafficStats::channel: bad party id");
-  return per_channel[static_cast<std::size_t>(from) * n + to];
+  const std::size_t key = static_cast<std::size_t>(from) * n + to;
+  if (mode == StatsMode::Dense) return per_channel[key];
+  const Counter* c = sparse_channels.find(key);
+  return c != nullptr ? *c : kZeroCounter;
 }
 
 TrafficStats::Counter TrafficStats::round(Round r) const {
@@ -106,7 +169,10 @@ TrafficStats::Counter TrafficStats::round(Round r) const {
 
 const TrafficStats::Counter& TrafficStats::delivered_channel(PartyId from, PartyId to) const {
   require(n != 0 && from < n && to < n, "TrafficStats::delivered_channel: bad party id");
-  return delivered_per_channel[static_cast<std::size_t>(from) * n + to];
+  const std::size_t key = static_cast<std::size_t>(from) * n + to;
+  if (mode == StatsMode::Dense) return delivered_per_channel[key];
+  const Counter* c = sparse_delivered.find(key);
+  return c != nullptr ? *c : kZeroCounter;
 }
 
 TrafficStats::Counter TrafficStats::delivered_round(Round r) const {
@@ -141,11 +207,14 @@ std::vector<Envelope> Mailbox::recycle() {
   return buffer;
 }
 
-Engine::Engine(Topology topo, std::uint64_t pki_seed)
+Engine::Engine(Topology topo, std::uint64_t pki_seed, StatsMode stats_mode)
     : topo_(topo), pki_(topo.n(), pki_seed), slots_(topo.n()) {
   stats_.n = topo_.n();
-  stats_.per_channel.assign(static_cast<std::size_t>(stats_.n) * stats_.n, {});
-  stats_.delivered_per_channel.assign(static_cast<std::size_t>(stats_.n) * stats_.n, {});
+  stats_.mode = stats_mode;
+  if (stats_mode == StatsMode::Dense) {
+    stats_.per_channel.assign(static_cast<std::size_t>(stats_.n) * stats_.n, {});
+    stats_.delivered_per_channel.assign(static_cast<std::size_t>(stats_.n) * stats_.n, {});
+  }
 }
 
 void Engine::set_delivery_policy(std::unique_ptr<DeliveryPolicy> policy) {

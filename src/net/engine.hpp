@@ -30,6 +30,19 @@
 
 namespace bsm::net {
 
+/// How TrafficStats stores its per-channel (n x n) matrices. Aggregate and
+/// per-round counters are O(rounds) either way.
+///
+///  - Dense:  flattened n x n Counter vectors, O(1) lookup, O(n^2) memory.
+///    The historical default — byte-identical stats at paper scale.
+///  - Sparse: an open-addressed hash map keyed by from * n + to, sized by
+///    the number of *active* channels. The big-n mode: an engine over 10^5+
+///    parties whose traffic touches a sparse channel subset keeps stats in
+///    O(active) instead of the O(n^2) that is the first thing to fall over
+///    at that scale. Same counters for every channel that saw traffic;
+///    channels that never did read as zero in both modes.
+enum class StatsMode : std::uint8_t { Dense, Sparse };
+
 /// Traffic statistics for benchmark harnesses and sweep reports: aggregate
 /// totals plus per-round and per-channel (sender, recipient) breakdowns.
 /// Counters record *sent* traffic, keyed by the round the send happened in.
@@ -52,10 +65,54 @@ struct TrafficStats {
     bool operator==(const Counter&) const = default;
   };
 
+  /// Open-addressed per-channel counter map for StatsMode::Sparse: keys are
+  /// from * n + to, linear probing, power-of-two capacity, grown at 70%
+  /// load. Deterministic for the engine's use (same run -> same insertion
+  /// order), but equality is content-based so layouts never matter.
+  class SparseChannels {
+   public:
+    /// Counter for `key`, inserted zeroed if absent.
+    [[nodiscard]] Counter& upsert(std::uint64_t key);
+    /// Counter for `key`, or nullptr when the channel never saw traffic.
+    [[nodiscard]] const Counter* find(std::uint64_t key) const noexcept;
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    /// Heap bytes held by the table (memory-shape guards read this).
+    [[nodiscard]] std::size_t bytes_resident() const noexcept {
+      return slots_.capacity() * sizeof(Slot);
+    }
+
+    /// Visit every active (key, counter) pair, slot order (unspecified).
+    template <typename F>
+    void for_each(F&& f) const {
+      for (const Slot& s : slots_) {
+        if (s.key != kEmpty) f(s.key, s.counter);
+      }
+    }
+
+    /// Same active channels with the same counters, layout-agnostic.
+    [[nodiscard]] bool operator==(const SparseChannels& o) const noexcept;
+
+   private:
+    struct Slot {
+      std::uint64_t key = kEmpty;
+      Counter counter;
+    };
+    static constexpr std::uint64_t kEmpty = UINT64_MAX;
+
+    void grow();
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+  };
+
+  StatsMode mode = StatsMode::Dense;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::vector<Counter> per_round;    ///< indexed by sending round
-  std::vector<Counter> per_channel;  ///< flattened n x n matrix, from * n + to
+  std::vector<Counter> per_channel;  ///< Dense: flattened n x n matrix, from * n + to
+  SparseChannels sparse_channels;    ///< Sparse: same counters, keyed by from * n + to
   std::uint32_t n = 0;               ///< parties (per_channel row width)
 
   /// Delivered-side counters, keyed by the round the envelope actually
@@ -69,13 +126,15 @@ struct TrafficStats {
   std::uint64_t dropped_messages = 0;  ///< policy Drop verdicts
   std::uint64_t dropped_bytes = 0;
   std::vector<Counter> delivered_per_round;    ///< indexed by delivery round
-  std::vector<Counter> delivered_per_channel;  ///< flattened n x n, from * n + to
+  std::vector<Counter> delivered_per_channel;  ///< Dense: flattened n x n, from * n + to
+  SparseChannels sparse_delivered;             ///< Sparse delivered-side counters
 
   void note_send(PartyId from, PartyId to, Round round, std::size_t payload_bytes);
   void note_delivery(PartyId from, PartyId to, Round round, std::size_t payload_bytes);
   void note_drop(PartyId from, PartyId to, std::size_t payload_bytes);
 
-  /// Sent-traffic counter for the directed channel from -> to.
+  /// Sent-traffic counter for the directed channel from -> to. In Sparse
+  /// mode a channel that never saw traffic reads as the zero counter.
   [[nodiscard]] const Counter& channel(PartyId from, PartyId to) const;
   /// Sent-traffic counter for `round` (zero counter past the last send).
   [[nodiscard]] Counter round(Round r) const;
@@ -83,6 +142,14 @@ struct TrafficStats {
   [[nodiscard]] const Counter& delivered_channel(PartyId from, PartyId to) const;
   /// Delivered-traffic counter for `round` (zero past the last delivery).
   [[nodiscard]] Counter delivered_round(Round r) const;
+
+  /// Heap bytes held by the per-channel structures (both sides, either
+  /// mode) — what the big-n memory-shape guard bounds.
+  [[nodiscard]] std::size_t channel_bytes_resident() const noexcept {
+    return per_channel.capacity() * sizeof(Counter) +
+           delivered_per_channel.capacity() * sizeof(Counter) +
+           sparse_channels.bytes_resident() + sparse_delivered.bytes_resident();
+  }
 
   bool operator==(const TrafficStats&) const = default;
 };
@@ -124,7 +191,9 @@ class Mailbox {
 
 class Engine {
  public:
-  Engine(Topology topo, std::uint64_t pki_seed);
+  /// `stats_mode` picks the per-channel stats representation (see StatsMode);
+  /// Dense preserves every historical transcript byte for byte.
+  Engine(Topology topo, std::uint64_t pki_seed, StatsMode stats_mode = StatsMode::Dense);
 
   [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
   [[nodiscard]] const crypto::Pki& pki() const noexcept { return pki_; }

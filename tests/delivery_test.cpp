@@ -134,6 +134,70 @@ TEST(Delivery, PerChannelDeliveredCountersDecomposeTheTotal) {
   EXPECT_EQ(round_sum, stats.delivered_messages);
 }
 
+TEST(Delivery, SparseStatsAgreeWithDenseChannelForChannel) {
+  // Same workload under both StatsMode representations: every observable
+  // counter must agree, channel for channel — Sparse only changes storage.
+  Engine dense(Topology(TopologyKind::FullyConnected, kParties), 7);
+  Engine sparse(Topology(TopologyKind::FullyConnected, kParties), 7, StatsMode::Sparse);
+  const std::uint32_t n = 2 * kParties;
+  for (PartyId id = 0; id < n; ++id) {
+    dense.set_process(id, std::make_unique<Flooder>());
+    sparse.set_process(id, std::make_unique<Flooder>());
+  }
+  dense.run(kRounds);
+  sparse.run(kRounds);
+
+  const auto& a = dense.stats();
+  const auto& b = sparse.stats();
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.per_round, b.per_round);
+  EXPECT_EQ(a.delivered_per_round, b.delivered_per_round);
+  for (PartyId from = 0; from < n; ++from) {
+    for (PartyId to = 0; to < n; ++to) {
+      EXPECT_TRUE(a.channel(from, to) == b.channel(from, to)) << from << "->" << to;
+      EXPECT_TRUE(a.delivered_channel(from, to) == b.delivered_channel(from, to))
+          << from << "->" << to;
+    }
+  }
+  // The table holds exactly the active channels (Flooder skips self).
+  EXPECT_EQ(b.sparse_channels.size(), static_cast<std::size_t>(n) * (n - 1));
+  EXPECT_EQ(b.channel(0, 0).messages, 0U);  // silent channel reads as zero
+
+  // The engine's behaviour is mode-independent: identical views.
+  for (PartyId id = 0; id < n; ++id) {
+    EXPECT_EQ(dense.view_hash(id), sparse.view_hash(id)) << "party " << id;
+  }
+}
+
+TEST(Delivery, ConservationHoldsInSparseMode) {
+  // Drops and carried delays exercise every counter family under Sparse.
+  Engine engine(Topology(TopologyKind::FullyConnected, kParties), 7, StatsMode::Sparse);
+  engine.set_delivery_policy(scripted("delay@3:1>0*100;drop@2:0>1"));
+  for (PartyId id = 0; id < 2 * kParties; ++id) {
+    engine.set_process(id, std::make_unique<Flooder>());
+  }
+  engine.run(kRounds);
+  const auto& stats = engine.stats();
+
+  EXPECT_EQ(engine.pending_carried(), 1U);
+  EXPECT_EQ(stats.dropped_messages, 1U);
+  EXPECT_EQ(stats.messages, stats.delivered_messages + stats.dropped_messages +
+                                engine.pending_carried() + stats.round(kRounds - 1).messages);
+
+  // Both decompositions still sum to the totals with sparse storage.
+  std::uint64_t sent_sum = 0;
+  std::uint64_t delivered_sum = 0;
+  stats.sparse_channels.for_each(
+      [&](std::uint64_t, const TrafficStats::Counter& c) { sent_sum += c.messages; });
+  stats.sparse_delivered.for_each(
+      [&](std::uint64_t, const TrafficStats::Counter& c) { delivered_sum += c.messages; });
+  EXPECT_EQ(sent_sum, stats.messages);
+  EXPECT_EQ(delivered_sum, stats.delivered_messages);
+}
+
 TEST(Delivery, ReorderDemotesAGroupWithoutLosingIt) {
   Engine natural = flood_engine(nullptr);
   Engine reordered = flood_engine(scripted("rank@2:0>1*1"));

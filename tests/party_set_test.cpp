@@ -130,5 +130,55 @@ TEST(PartySet, MaskedCountsMatchSetIntersection) {
   }
 }
 
+TEST(PartySet, CountAndClipsMismatchedWordCounts) {
+  // Regression: the AND sweep must iterate the *shorter* word span in both
+  // directions — sets grow on demand, so operands routinely differ in
+  // allocated words, and ids beyond either operand's words cannot intersect.
+  PartySet small;
+  small.insert(5);
+  PartySet big;
+  big.insert(5);
+  big.insert(900);  // 15 words vs small's 1
+  EXPECT_EQ(small.count_and(big), 1U);
+  EXPECT_EQ(big.count_and(small), 1U);
+
+  const PartySet empty;
+  EXPECT_EQ(empty.count_and(big), 0U);
+  EXPECT_EQ(big.count_and(empty), 0U);
+  EXPECT_EQ(empty.count_and(empty), 0U);
+
+  // Spans long enough to exercise the unrolled 4-word main loop plus tail.
+  PartySet a = PartySet::range(0, 500);
+  PartySet b = PartySet::range(250, 1000);
+  EXPECT_EQ(a.count_and(b), 250U);
+  EXPECT_EQ(b.count_and(a), 250U);
+}
+
+TEST(PartySet, CountAnd2MatchesTwoCountAndCalls) {
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    PartySet holders;
+    PartySet ma;
+    PartySet mb;
+    // Deliberately unequal word counts across the three operands.
+    const std::uint32_t bounds[3] = {1 + rng.below(700), 1 + rng.below(700),
+                                     1 + rng.below(700)};
+    for (std::uint32_t i = 0; i < 120; ++i) {
+      holders.insert(static_cast<PartyId>(rng.below(bounds[0])));
+      ma.insert(static_cast<PartyId>(rng.below(bounds[1])));
+      mb.insert(static_cast<PartyId>(rng.below(bounds[2])));
+    }
+    const auto [ca, cb] = holders.count_and2(ma, mb);
+    ASSERT_EQ(ca, holders.count_and(ma));
+    ASSERT_EQ(cb, holders.count_and(mb));
+  }
+  // Degenerate shapes.
+  const PartySet empty;
+  const PartySet one{3};
+  EXPECT_EQ(empty.count_and2(one, one), (std::pair<std::uint32_t, std::uint32_t>{0, 0}));
+  EXPECT_EQ(one.count_and2(empty, one), (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+  EXPECT_EQ(one.count_and2(one, empty), (std::pair<std::uint32_t, std::uint32_t>{1, 0}));
+}
+
 }  // namespace
 }  // namespace bsm::core

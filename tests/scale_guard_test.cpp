@@ -1,0 +1,144 @@
+// Memory-shape guards for the big-n fast path: a lazy-profile matching at
+// n = 10^5 must run in O(n) live bytes (no hidden n x k materialization),
+// and a sparse-stats engine must keep its channel tables proportional to
+// the *active* channels, not n^2. Enforced with a counting global
+// operator new/delete local to this test binary: every plain allocation
+// carries a 16-byte size header, and the hook tracks live and peak heap
+// bytes. Aligned-new allocations bypass the hook (none of the guarded
+// paths use over-aligned types); the probes measure peak *deltas*, so the
+// harness's own baseline allocations cancel out.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "matching/gale_shapley.hpp"
+#include "matching/stability.hpp"
+#include "matching/view.hpp"
+#include "net/engine.hpp"
+
+namespace {
+
+constexpr std::size_t kHeader = 16;  // keeps malloc's max_align_t alignment
+
+std::atomic<std::size_t> g_live{0};
+std::atomic<std::size_t> g_peak{0};
+
+void note_alloc(std::size_t size) noexcept {
+  const std::size_t live = g_live.fetch_add(size, std::memory_order_relaxed) + size;
+  std::size_t peak = g_peak.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void* counted_new(std::size_t size) {
+  void* raw = std::malloc(size + kHeader);
+  if (raw == nullptr) throw std::bad_alloc{};
+  *static_cast<std::size_t*>(raw) = size;
+  note_alloc(size);
+  return static_cast<char*>(raw) + kHeader;
+}
+
+void counted_delete(void* p) noexcept {
+  if (p == nullptr) return;
+  char* raw = static_cast<char*>(p) - kHeader;
+  g_live.fetch_sub(*reinterpret_cast<std::size_t*>(raw), std::memory_order_relaxed);
+  std::free(raw);
+}
+
+/// Peak-heap-delta probe over a scoped workload.
+class PeakProbe {
+ public:
+  PeakProbe() { reset(); }
+
+  void reset() noexcept {
+    start_ = g_live.load(std::memory_order_relaxed);
+    g_peak.store(start_, std::memory_order_relaxed);
+  }
+
+  /// Highest live-bytes excess over the probe's starting level.
+  [[nodiscard]] std::size_t peak_delta() const noexcept {
+    const std::size_t peak = g_peak.load(std::memory_order_relaxed);
+    return peak > start_ ? peak - start_ : 0;
+  }
+
+ private:
+  std::size_t start_ = 0;
+};
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_new(size); }
+void* operator new[](std::size_t size) { return counted_new(size); }
+void operator delete(void* p) noexcept { counted_delete(p); }
+void operator delete[](void* p) noexcept { counted_delete(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_delete(p); }
+
+namespace bsm {
+namespace {
+
+TEST(ScaleGuard, CountingHookObservesAllocations) {
+  PeakProbe probe;
+  {
+    std::vector<char> block(1 << 20);
+    EXPECT_GE(probe.peak_delta(), std::size_t{1} << 20);
+  }
+  const std::size_t peak_after_free = probe.peak_delta();
+  probe.reset();
+  EXPECT_LT(probe.peak_delta(), peak_after_free + 1);  // reset rebases the peak
+}
+
+TEST(ScaleGuard, LazyMatchingAtN1e5StaysLinear) {
+  // n = 10^5 parties: an accidental materialization would be
+  // k^2 * 4 bytes * 2 sides = 20 GB of lists; the O(n) working set
+  // (matching, proposal cursors, free queue) is ~2 MB. The 16 MB bound
+  // leaves headroom for allocator slack while failing *any* O(n^2) slip.
+  const std::uint32_t k = 50'000;
+  const matching::LazyProfile view(k, 42);
+  EXPECT_EQ(view.bytes_resident(), 0U);
+
+  PeakProbe probe;
+  const auto result = matching::gale_shapley_over(view);
+  const std::size_t peak = probe.peak_delta();
+  EXPECT_LT(peak, std::size_t{16} << 20) << "matching run must stay O(n) bytes";
+
+  ASSERT_TRUE(matching::is_perfect_matching(result.matching, k));
+  EXPECT_EQ(matching::sampled_blocking_pairs_over(view, result.matching, 10'000, 7), 0U);
+}
+
+TEST(ScaleGuard, SparseEngineChannelMemoryTracksActiveChannels) {
+  // n = 2048 with one ring channel per party: the dense matrices would be
+  // 2 * n^2 * 16 bytes = 134 MB before the first round; sparse tables stay
+  // within a small multiple of the n active channels.
+  constexpr std::uint32_t kHalf = 1024;
+
+  class RingSender final : public net::Process {
+   public:
+    void on_round(net::Context& ctx, net::Inbox) override {
+      ctx.send((ctx.self() + 1) % ctx.topology().n(), Bytes{9});
+    }
+  };
+
+  PeakProbe probe;
+  net::Engine engine(net::Topology(net::TopologyKind::FullyConnected, kHalf), 1,
+                     net::StatsMode::Sparse);
+  const std::uint32_t n = engine.topology().n();
+  for (PartyId id = 0; id < n; ++id) engine.set_process(id, std::make_unique<RingSender>());
+  engine.run(4);
+
+  const std::size_t dense_would_be =
+      2 * static_cast<std::size_t>(n) * n * sizeof(net::TrafficStats::Counter);
+  EXPECT_LT(engine.stats().channel_bytes_resident(), dense_would_be / 64);
+  EXPECT_LT(probe.peak_delta(), dense_would_be / 8)
+      << "sparse engine must never allocate dense-matrix-sized blocks";
+  EXPECT_EQ(engine.stats().sparse_channels.size(), n);
+  EXPECT_EQ(engine.stats().messages, std::uint64_t{n} * 4);
+}
+
+}  // namespace
+}  // namespace bsm
