@@ -15,6 +15,14 @@
 //   iterative-deepening + trail-digest pruning): schedules/sec, with the
 //   report counts folded into the digest so a search-shape change is a
 //   visible digest change.
+//
+//   sched/fuzz_loop / sched/fuzz_deep_find — the greybox corpus loop.
+//   fuzz_loop runs the in-envelope menu (violations would be library
+//   bugs) and measures executions/sec with the coverage frontier folded
+//   into the digest; fuzz_deep_find hunts the engineered 3-op violation
+//   beyond the envelope (liars battery, k=2/1/0 — exhaustively clean at
+//   depths 1-2) and asserts the fuzzer still finds and shrinks it, so a
+//   search-regression shows up as `ok: false`, not just a slow number.
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -25,6 +33,7 @@
 #include "core/bench.hpp"
 #include "core/sweep.hpp"
 #include "sched/explorer.hpp"
+#include "sched/fuzz.hpp"
 #include "sched/policy.hpp"
 
 namespace bsm::benchcases {
@@ -135,6 +144,61 @@ using core::BenchRun;
   return run;
 }
 
+/// The greybox loop over the in-envelope menu: every exec must satisfy
+/// the properties (the envelope is the paper's guarantee), so ok doubles
+/// as a correctness gate while the rate measures execs/sec.
+[[nodiscard]] BenchRun run_fuzz_loop(const BenchContext& ctx, std::size_t max_execs) {
+  core::ScenarioSpec scenario;
+  scenario.config = core::BsmConfig{net::TopologyKind::FullyConnected, true, 2, 1, 1};
+  core::apply_battery(scenario, core::Battery::Silent, 1);
+
+  sched::FuzzerOptions opts;
+  opts.max_execs = max_execs;
+  opts.threads = ctx.threads;
+  sched::Fuzzer fuzzer(scenario, opts);
+  const auto report = fuzzer.run();
+
+  BenchRun run;
+  run.cells = report.execs + report.shrink_runs;
+  run.ok &= report.all_satisfied();  // in-envelope menu: violations are bugs
+  run.digest = hash_combine(run.digest, splitmix64(report.execs));
+  run.digest = hash_combine(run.digest, splitmix64(report.coverage));
+  run.digest = hash_combine(run.digest, splitmix64(report.corpus_size));
+  run.digest = hash_combine(run.digest, splitmix64(report.interesting));
+  return run;
+}
+
+/// The engineered deep hunt (see tests/fuzz_test.cpp): the minimal
+/// beyond-envelope violation under liars needs 3 ops, unreachable for
+/// iterative deepening at this budget. ok asserts the find AND the
+/// shrink; the digest pins the counterexample itself.
+[[nodiscard]] BenchRun run_fuzz_deep_find(const BenchContext& ctx, std::size_t max_execs) {
+  core::ScenarioSpec scenario;
+  scenario.config = core::BsmConfig{net::TopologyKind::FullyConnected, true, 2, 1, 0};
+  core::apply_battery(scenario, core::Battery::Liars, 1);
+
+  sched::FuzzerOptions opts;
+  opts.corrupt_adjacent_only = false;
+  opts.allow_reorder = false;
+  opts.max_delay = 1;
+  opts.max_execs = max_execs;
+  opts.threads = ctx.threads;
+  sched::Fuzzer fuzzer(scenario, opts);
+  const auto report = fuzzer.run();
+
+  BenchRun run;
+  run.cells = report.execs + report.shrink_runs;
+  run.ok &= report.violations >= 1;
+  run.ok &= report.counterexample.has_value() && report.counterexample->ops.size() >= 3;
+  run.digest = hash_combine(run.digest, splitmix64(report.execs));
+  run.digest = hash_combine(run.digest, splitmix64(report.coverage));
+  run.digest = hash_combine(run.digest, splitmix64(report.violations));
+  if (report.counterexample.has_value()) {
+    run.digest = hash_combine(run.digest, report.counterexample->digest());
+  }
+  return run;
+}
+
 }  // namespace
 
 void register_sched() {
@@ -149,6 +213,20 @@ void register_sched() {
                         [](const BenchContext& ctx) { return run_delay_sweep(ctx, 6, 4); }});
   core::register_bench({"sched/explorer",
                         [](const BenchContext& ctx) { return run_explorer(ctx, 2, 4096); }});
+  core::register_bench({"sched/fuzz_loop",
+                        [](const BenchContext& ctx) { return run_fuzz_loop(ctx, 2048); }});
+  core::register_bench({"sched/fuzz_deep_find",
+                        [](const BenchContext& ctx) { return run_fuzz_deep_find(ctx, 4096); }});
+  core::register_bench({"sched/fuzz_smoke", [](const BenchContext& ctx) {
+                          // The CI smoke slice: a trimmed corpus loop plus the
+                          // deep hunt (cheap — the find lands around exec 100).
+                          BenchRun run = run_fuzz_loop(ctx, 192);
+                          const BenchRun deep = run_fuzz_deep_find(ctx, 1024);
+                          run.cells += deep.cells;
+                          run.ok &= deep.ok;
+                          run.digest = hash_combine(run.digest, deep.digest);
+                          return run;
+                        }});
   core::register_bench({"sched/smoke", [](const BenchContext& ctx) {
                           BenchRun run = run_explorer(ctx, 1, 128);
                           const BenchRun sweep = run_delay_sweep(ctx, 1, 2);

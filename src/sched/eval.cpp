@@ -1,0 +1,52 @@
+#include "sched/eval.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "core/runner.hpp"
+
+namespace bsm::sched::detail {
+
+Eval eval_schedule(const core::ScenarioSpec& base,
+                   const std::optional<core::ProtocolSpec>& resolved, const ScheduleTrace& trace,
+                   Round horizon, bool collect_menu, bool collect_prefixes) {
+  core::ScenarioSpec scenario = base;
+  scenario.sched = PolicyDesc{};
+  scenario.sched.kind = PolicyDesc::Kind::Scripted;
+  scenario.sched.trace = trace;
+
+  core::AssembledRun run = core::assemble_run(core::to_run_spec(scenario, nullptr, resolved));
+  const Round rounds = horizon == 0 ? run.rounds : horizon;
+
+  std::vector<Slot> menu;
+  if (collect_menu) {
+    run.engine.set_observer([&](const net::Envelope& env) {
+      if (env.from == env.to) return;  // self-loopback: not a network channel
+      menu.push_back({run.engine.current_round(), env.from, env.to});
+    });
+  }
+
+  Eval eval;
+  eval.trail = 0x5eed0f0ddULL;
+  if (collect_prefixes) eval.prefixes.reserve(rounds);
+  for (Round r = 0; r < rounds; ++r) {
+    run.engine.run(1);
+    std::uint64_t state = splitmix64(r);
+    for (PartyId id = 0; id < run.config.n(); ++id) {
+      state = hash_combine(state, run.engine.view_hash(id));
+    }
+    eval.trail = hash_combine(eval.trail, state);
+    if (collect_prefixes) eval.prefixes.push_back(eval.trail);
+  }
+
+  const core::RunOutcome outcome = core::collect_outcome(run);
+  eval.violated = outcome.report.all() ? 0 : 1;
+  eval.views = outcome.view_hashes;
+
+  std::sort(menu.begin(), menu.end());
+  menu.erase(std::unique(menu.begin(), menu.end()), menu.end());
+  eval.menu = std::move(menu);
+  return eval;
+}
+
+}  // namespace bsm::sched::detail

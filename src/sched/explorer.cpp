@@ -6,79 +6,21 @@
 
 #include "common/hash.hpp"
 #include "core/sweep.hpp"
+#include "sched/eval.hpp"
 
 namespace bsm::sched {
 
 namespace {
 
-/// One channel-round delivery group observed in a run: a point the
-/// schedule could perturb.
-struct Slot {
-  Round round = 0;
-  PartyId from = 0;
-  PartyId to = 0;
-
-  [[nodiscard]] bool operator<(const Slot& o) const {
-    if (round != o.round) return round < o.round;
-    if (from != o.from) return from < o.from;
-    return to < o.to;
-  }
-  bool operator==(const Slot&) const = default;
-};
-
-/// What one schedule run reports back to the search.
-struct Eval {
-  std::uint64_t trail = 0;  ///< fold of per-round state digests
-  int violated = 0;
-  std::vector<Slot> menu;  ///< observed delivery groups, sorted unique
-  std::vector<std::uint64_t> views;
-};
+// The per-schedule simulation (trail fold, delivery-group menu, property
+// verdict) lives in sched/eval.hpp, shared with the greybox fuzzer.
+using detail::Eval;
+using detail::eval_schedule;
+using detail::Slot;
 
 struct Candidate {
   ScheduleTrace trace;
 };
-
-/// Run `base` under `trace` for `horizon` rounds, recording the trail and
-/// the delivery-group menu. Pure per call: every run owns its engine.
-[[nodiscard]] Eval eval_schedule(const core::ScenarioSpec& base,
-                                 const std::optional<core::ProtocolSpec>& resolved,
-                                 const ScheduleTrace& trace, Round horizon, bool collect_menu) {
-  core::ScenarioSpec scenario = base;
-  scenario.sched = PolicyDesc{};
-  scenario.sched.kind = PolicyDesc::Kind::Scripted;
-  scenario.sched.trace = trace;
-
-  core::AssembledRun run = core::assemble_run(core::to_run_spec(scenario, nullptr, resolved));
-  const Round rounds = horizon == 0 ? run.rounds : horizon;
-
-  std::vector<Slot> menu;
-  if (collect_menu) {
-    run.engine.set_observer([&](const net::Envelope& env) {
-      if (env.from == env.to) return;  // self-loopback: not a network channel
-      menu.push_back({run.engine.current_round(), env.from, env.to});
-    });
-  }
-
-  Eval eval;
-  eval.trail = 0x5eed0f0ddULL;
-  for (Round r = 0; r < rounds; ++r) {
-    run.engine.run(1);
-    std::uint64_t state = splitmix64(r);
-    for (PartyId id = 0; id < run.config.n(); ++id) {
-      state = hash_combine(state, run.engine.view_hash(id));
-    }
-    eval.trail = hash_combine(eval.trail, state);
-  }
-
-  const core::RunOutcome outcome = core::collect_outcome(run);
-  eval.violated = outcome.report.all() ? 0 : 1;
-  eval.views = outcome.view_hashes;
-
-  std::sort(menu.begin(), menu.end());
-  menu.erase(std::unique(menu.begin(), menu.end()), menu.end());
-  eval.menu = std::move(menu);
-  return eval;
-}
 
 class Search {
  public:

@@ -2,7 +2,9 @@
 // binary (CMake injects its path as BSM_CLI_PATH):
 //   --help exits 0 and documents every subcommand;
 //   an unknown flag on any subcommand path exits 2 and names the flag;
-//   `explore` emits schema-shaped JSON and exits 0 on a satisfied search.
+//   `explore` emits schema-shaped JSON and exits 0 on a satisfied search;
+//   `fuzz` emits schema-shaped JSON, exits 1 on a violation, and its
+//   counterexample replays through `fuzz --replay`.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -35,13 +37,14 @@ struct CliResult {
 TEST(CliContract, HelpExitsZeroAndDocumentsEverySubcommand) {
   const auto result = run_cli("--help");
   EXPECT_EQ(result.exit_code, 0);
-  for (const char* word : {"run", "sweep", "explore", "bench", "--replay", "--max-depth"}) {
+  for (const char* word :
+       {"run", "sweep", "explore", "fuzz", "bench", "--replay", "--max-depth", "--max-execs"}) {
     EXPECT_NE(result.output.find(word), std::string::npos) << "help must mention " << word;
   }
 }
 
 TEST(CliContract, SubcommandHelpExitsZero) {
-  for (const char* sub : {"run", "sweep", "explore"}) {
+  for (const char* sub : {"run", "sweep", "explore", "fuzz"}) {
     const auto result = run_cli(std::string(sub) + " --help");
     EXPECT_EQ(result.exit_code, 0) << sub;
   }
@@ -55,6 +58,8 @@ TEST(CliContract, UnknownFlagsExitTwoAndNameTheFlag) {
       {"--bogus-flag", "--bogus-flag"},
       {"sweep --not-a-flag", "--not-a-flag"},
       {"explore --wat", "--wat"},
+      {"fuzz --wat", "--wat"},
+      {"fuzz --corpse dir", "--corpse"},
       {"bench --nope", "--nope"},
   };
   for (const auto& [args, flag] : cases) {
@@ -69,14 +74,16 @@ TEST(CliContract, BadValuesExitTwo) {
   for (const char* args :
        {"explore --k zilch", "explore --battery nuclear", "explore --ops blackhole",
         "explore --replay not-a-trace", "sweep --sched warp", "sweep --sched-seeds 0",
-        "sweep --topology moebius"}) {
+        "sweep --topology moebius", "fuzz --k zilch", "fuzz --battery nuclear",
+        "fuzz --ops blackhole", "fuzz --replay not-a-trace", "fuzz --topology moebius"}) {
     const auto result = run_cli(args);
     EXPECT_EQ(result.exit_code, 2) << args;
   }
 }
 
 TEST(CliContract, MissingValueExitsTwo) {
-  for (const char* args : {"explore --k", "sweep --battery", "run --seed"}) {
+  for (const char* args : {"explore --k", "sweep --battery", "run --seed", "fuzz --max-execs",
+                           "fuzz --corpus"}) {
     const auto result = run_cli(args);
     EXPECT_EQ(result.exit_code, 2) << args;
   }
@@ -106,6 +113,56 @@ TEST(CliContract, ExploreExitsOneOnViolationAndReplayReproducesIt) {
   const auto replay = run_cli("explore --k 2 --tl 0 --tr 0 --replay \"" + trace + "\"");
   EXPECT_EQ(replay.exit_code, 1) << replay.output;
   EXPECT_NE(replay.output.find("\"all_properties\": false"), std::string::npos) << replay.output;
+}
+
+TEST(CliContract, FuzzEmitsJsonAndExitsZeroWhenSatisfied) {
+  // k=2/1/1 under silent is exhaustively clean beyond the envelope, so a
+  // small budget runs dry without a violation.
+  const auto result =
+      run_cli("fuzz --k 2 --tl 1 --tr 1 --include-honest --max-execs 96 --threads 2");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  for (const char* field :
+       {"\"scenario\"", "\"options\"", "\"fuzz\"", "\"execs\"", "\"corpus_size\"",
+        "\"corpus_loaded\"", "\"corpus_saved\"", "\"coverage\"", "\"interesting\"",
+        "\"violations\"", "\"all_satisfied\": true", "\"counterexample\": null"}) {
+    EXPECT_NE(result.output.find(field), std::string::npos) << "fuzz JSON must contain " << field;
+  }
+}
+
+TEST(CliContract, FuzzExitsOneOnViolationAndReplayReproducesIt) {
+  // The engineered deep scenario: the minimal beyond-envelope violation
+  // under liars needs 3 ops (see tests/fuzz_test.cpp).
+  const auto search = run_cli(
+      "fuzz --k 2 --tl 1 --tr 0 --battery liars --include-honest --max-delay 1 "
+      "--max-execs 4096");
+  EXPECT_EQ(search.exit_code, 1) << search.output;
+  const auto start = search.output.find("\"trace\": \"");
+  ASSERT_NE(start, std::string::npos) << search.output;
+  const auto from = start + std::string("\"trace\": \"").size();
+  const auto end = search.output.find('"', from);
+  const std::string trace = search.output.substr(from, end - from);
+  ASSERT_FALSE(trace.empty());
+
+  const auto replay =
+      run_cli("fuzz --k 2 --tl 1 --tr 0 --battery liars --replay \"" + trace + "\"");
+  EXPECT_EQ(replay.exit_code, 1) << replay.output;
+  EXPECT_NE(replay.output.find("\"all_properties\": false"), std::string::npos) << replay.output;
+}
+
+TEST(CliContract, FuzzSameSeedSameJsonAcrossThreadCounts) {
+  const std::string flags =
+      "fuzz --k 2 --tl 1 --tr 0 --battery liars --include-honest --max-delay 1 "
+      "--max-execs 256 --fuzz-seed 9";
+  const auto one = run_cli(flags + " --threads 1");
+  const auto four = run_cli(flags + " --threads 4");
+  EXPECT_EQ(one.exit_code, four.exit_code);
+  EXPECT_EQ(one.output, four.output) << "fuzz reports must be thread-count independent";
+}
+
+TEST(CliContract, FuzzRejectsUnsolvableSettings) {
+  const auto result = run_cli("fuzz --k 2 --tl 2 --tr 2 --no-auth");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unsolvable"), std::string::npos) << result.output;
 }
 
 TEST(CliContract, ExploreRejectsUnsolvableSettings) {

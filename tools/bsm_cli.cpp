@@ -6,6 +6,8 @@
 //   bsm_cli [run] [flags]    one scenario, human-readable outcome table
 //   bsm_cli sweep [flags]    a cartesian scenario grid via run_sweep(),
 //                            one machine-readable JSON document on stdout
+//   bsm_cli explore [flags]  systematic delivery-schedule search (sched::explore)
+//   bsm_cli fuzz [flags]     coverage-guided schedule fuzzing (sched::Fuzzer)
 //   bsm_cli bench [flags]    the full benchmark suite (every bench/ case
 //                            group) via the shared harness; emits the
 //                            BENCH_results.json schema on stdout
@@ -31,6 +33,7 @@
 #include "core/sweep.hpp"
 #include "matching/generators.hpp"
 #include "sched/explorer.hpp"
+#include "sched/fuzz.hpp"
 
 namespace {
 
@@ -44,6 +47,7 @@ usage:
   bsm_cli [run] [flags]     run one scenario, print the outcome table
   bsm_cli sweep [flags]     run a scenario grid in parallel, emit JSON on stdout
   bsm_cli explore [flags]   systematic delivery-schedule search, emit JSON on stdout
+  bsm_cli fuzz [flags]      coverage-guided schedule fuzzing, emit JSON on stdout
   bsm_cli bench [flags]     run the benchmark suite, emit BENCH_results.json on stdout
   bsm_cli --help            this text (also: bsm_cli SUBCOMMAND --help)
 
@@ -99,6 +103,35 @@ unsolvable setting):
   --max-schedules N          cap on exploration runs    (default: 4096)
   --threads N                per-wave fan-out, 0 = hardware (default: 0)
   --replay TRACE             skip the search: replay one serialized schedule
+                             trace and report its outcome
+
+fuzz flags (coverage-guided greybox loop over the same schedule space as
+explore: a corpus of interesting traces — ones that reached a new
+per-round view-hash trail prefix — is mutated inside the fault envelope,
+parents picked by coverage energy; prints one JSON document with
+execs/corpus/coverage/violations and a 1-minimal counterexample trace
+when one exists; same seed = bit-identical report at any thread count;
+exit 0 = no violation found, 1 = violation found, 2 = usage error or
+unsolvable setting):
+  --topology fully|one-sided|bipartite   topology       (default: fully)
+  --auth / --no-auth                     PKI available? (default: auth)
+  --k N / --tl N / --tr N    market size and budgets    (default: 2/1/0)
+  --seed S                   workload seed              (default: 1)
+  --battery KIND             silent,noise,liars,adaptive,omission (default: silent)
+  --fuzz-seed S              mutation/selection rng seed (default: 1)
+  --max-execs N              total simulation budget    (default: 2048)
+  --batch N                  candidates per parallel wave (default: 32)
+  --max-ops N                op cap per mutated trace   (default: 8)
+  --ops LIST                 comma list of drop,delay,reorder (default: drop,delay)
+  --max-delay N              delay ops slip 1..N rounds (default: 2)
+  --omission-budget N        max drops charged to one target (default: 4)
+  --horizon N                rounds to simulate, 0 = protocol deadline (default: 0)
+  --include-honest           also mutate honest-honest channels (beyond the
+                             fault envelope; violations become expected)
+  --corpus DIR               load seed traces from DIR before fuzzing and
+                             save the final corpus back (digest-keyed files)
+  --threads N                per-wave fan-out, 0 = hardware (default: 0)
+  --replay TRACE             skip the fuzzing: replay one serialized schedule
                              trace and report its outcome
 
 bench flags (runs every registered benchmark case group — the same cases
@@ -346,6 +379,34 @@ int run_sweep_command(int argc, char** argv) {
   return out + "]";
 }
 
+/// Shared by `explore --replay` and `fuzz --replay`: run one serialized
+/// trace under the scenario and print the replay JSON document. The
+/// output depends only on (scenario, horizon, trace), so a
+/// counterexample replays bit-for-bit from either subcommand.
+int run_replay(core::ScenarioSpec scenario, Round horizon, const std::string& serialized) {
+  const auto trace = sched::ScheduleTrace::parse(serialized);
+  if (!trace) {
+    std::cerr << "bad --replay trace: " << serialized << "\n";
+    return 2;
+  }
+  scenario.sched.kind = sched::PolicyDesc::Kind::Scripted;
+  scenario.sched.trace = *trace;
+  // Honor --horizon exactly like the search does (horizon 0 = the
+  // protocol deadline), so a counterexample found under a truncated
+  // horizon reproduces on replay.
+  auto run = core::assemble_run(core::to_run_spec(scenario));
+  run.engine.run(horizon == 0 ? run.rounds : horizon);
+  const core::RunOutcome out = core::collect_outcome(run);
+  std::cout << "{\n  \"replay\": {\"trace\": \"" << json_escape(trace->serialize())
+            << "\", \"ops\": " << trace->ops.size() << ", \"rounds\": " << out.rounds
+            << ", \"messages\": " << out.traffic.messages
+            << ", \"delivered\": " << out.traffic.delivered_messages
+            << ", \"dropped\": " << out.traffic.dropped_messages
+            << ", \"all_properties\": " << (out.report.all() ? "true" : "false")
+            << ",\n    \"views\": " << views_json(out.view_hashes) << "}\n}\n";
+  return out.report.all() ? 0 : 1;
+}
+
 int run_explore_command(int argc, char** argv) {
   core::ScenarioSpec scenario;
   scenario.config = core::BsmConfig{net::TopologyKind::FullyConnected, true, 2, 1, 0};
@@ -449,29 +510,7 @@ int run_explore_command(int argc, char** argv) {
   scenario.pki_seed = seed + 1;
   core::apply_battery(scenario, battery, seed);
 
-  if (replay.has_value()) {
-    const auto trace = sched::ScheduleTrace::parse(*replay);
-    if (!trace) {
-      std::cerr << "bad --replay trace: " << *replay << "\n";
-      return 2;
-    }
-    scenario.sched.kind = sched::PolicyDesc::Kind::Scripted;
-    scenario.sched.trace = *trace;
-    // Honor --horizon exactly like the search does (horizon 0 = the
-    // protocol deadline), so a counterexample found under a truncated
-    // horizon reproduces on replay.
-    auto run = core::assemble_run(core::to_run_spec(scenario));
-    run.engine.run(opts.horizon == 0 ? run.rounds : opts.horizon);
-    const core::RunOutcome out = core::collect_outcome(run);
-    std::cout << "{\n  \"replay\": {\"trace\": \"" << json_escape(trace->serialize())
-              << "\", \"ops\": " << trace->ops.size() << ", \"rounds\": " << out.rounds
-              << ", \"messages\": " << out.traffic.messages
-              << ", \"delivered\": " << out.traffic.delivered_messages
-              << ", \"dropped\": " << out.traffic.dropped_messages
-              << ", \"all_properties\": " << (out.report.all() ? "true" : "false")
-              << ",\n    \"views\": " << views_json(out.view_hashes) << "}\n}\n";
-    return out.report.all() ? 0 : 1;
-  }
+  if (replay.has_value()) return run_replay(scenario, opts.horizon, *replay);
 
   const auto report = sched::explore(scenario, opts);
 
@@ -493,6 +532,160 @@ int run_explore_command(int argc, char** argv) {
             << ", \"pruned\": " << report.pruned << ", \"violations\": " << report.violations
             << ", \"depth_reached\": " << report.depth_reached
             << ", \"truncated\": " << (report.truncated ? "true" : "false") << "},\n";
+  std::cout << "  \"all_satisfied\": " << (report.all_satisfied() ? "true" : "false") << ",\n";
+  if (report.counterexample.has_value()) {
+    std::cout << "  \"counterexample\": {\"trace\": \""
+              << json_escape(report.counterexample->serialize())
+              << "\", \"ops\": " << report.counterexample->ops.size()
+              << ", \"shrink_runs\": " << report.shrink_runs
+              << ",\n    \"views\": " << views_json(report.counterexample_views) << "}\n";
+  } else {
+    std::cout << "  \"counterexample\": null\n";
+  }
+  std::cout << "}\n";
+  return report.all_satisfied() ? 0 : 1;
+}
+
+// -------------------------------------------------------------- fuzz mode
+
+int run_fuzz_command(int argc, char** argv) {
+  core::ScenarioSpec scenario;
+  scenario.config = core::BsmConfig{net::TopologyKind::FullyConnected, true, 2, 1, 0};
+  std::uint64_t seed = 1;
+  core::Battery battery = core::Battery::Silent;
+  sched::FuzzerOptions opts;
+  opts.allow_reorder = false;  // match explore's default op menu: drop,delay
+  std::optional<std::string> replay;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help") {
+      usage();
+      return 0;
+    }
+    if (arg == "--auth") {
+      scenario.config.authenticated = true;
+      continue;
+    }
+    if (arg == "--no-auth") {
+      scenario.config.authenticated = false;
+      continue;
+    }
+    if (arg == "--include-honest") {
+      opts.corrupt_adjacent_only = false;
+      continue;
+    }
+    if (arg != "--topology" && arg != "--k" && arg != "--tl" && arg != "--tr" &&
+        arg != "--seed" && arg != "--battery" && arg != "--fuzz-seed" && arg != "--max-execs" &&
+        arg != "--batch" && arg != "--max-ops" && arg != "--ops" && arg != "--max-delay" &&
+        arg != "--omission-budget" && arg != "--horizon" && arg != "--corpus" &&
+        arg != "--threads" && arg != "--replay") {
+      std::cerr << "unknown fuzz argument: " << arg << " (try --help)\n";
+      return 2;
+    }
+    const auto value = next();
+    if (!value) {
+      std::cerr << "missing value for " << arg << "\n";
+      return 2;
+    }
+    if (arg == "--topology") {
+      if (*value == "fully") {
+        scenario.config.topology = net::TopologyKind::FullyConnected;
+      } else if (*value == "one-sided") {
+        scenario.config.topology = net::TopologyKind::OneSided;
+      } else if (*value == "bipartite") {
+        scenario.config.topology = net::TopologyKind::Bipartite;
+      } else {
+        std::cerr << "unknown topology: " << *value << "\n";
+        return 2;
+      }
+    } else if (arg == "--battery") {
+      const auto parsed = parse_battery(*value);
+      if (!parsed) {
+        std::cerr << "unknown battery: " << *value << "\n";
+        return 2;
+      }
+      battery = *parsed;
+    } else if (arg == "--ops") {
+      opts.allow_drop = opts.allow_delay = opts.allow_reorder = false;
+      for (const auto& op : split_csv(*value)) {
+        if (op == "drop") {
+          opts.allow_drop = true;
+        } else if (op == "delay") {
+          opts.allow_delay = true;
+        } else if (op == "reorder") {
+          opts.allow_reorder = true;
+        } else {
+          std::cerr << "unknown --ops value: " << op << " (drop|delay|reorder)\n";
+          return 2;
+        }
+      }
+    } else if (arg == "--corpus") {
+      opts.corpus_dir = *value;
+    } else if (arg == "--replay") {
+      replay = *value;
+    } else {
+      const auto parsed = parse_u64(*value);
+      if (!parsed || *parsed > 1'000'000) {
+        std::cerr << "bad " << arg << " value: " << *value << " (expected 0..1000000)\n";
+        return 2;
+      }
+      const auto v = static_cast<std::uint32_t>(*parsed);
+      if (arg == "--k") scenario.config.k = v;
+      if (arg == "--tl") scenario.config.tl = v;
+      if (arg == "--tr") scenario.config.tr = v;
+      if (arg == "--seed") seed = v;
+      if (arg == "--fuzz-seed") opts.seed = v;
+      if (arg == "--max-execs") opts.max_execs = v;
+      if (arg == "--batch") opts.batch = v;
+      if (arg == "--max-ops") opts.max_ops = v;
+      if (arg == "--max-delay") opts.max_delay = v;
+      if (arg == "--omission-budget") opts.omission_budget = v;
+      if (arg == "--horizon") opts.horizon = v;
+      if (arg == "--threads") opts.threads = static_cast<unsigned>(v);
+    }
+  }
+
+  if (!core::solvable(scenario.config)) {
+    std::cerr << "unsolvable setting: " << core::solvability_reason(scenario.config) << "\n";
+    return 2;
+  }
+  scenario.input_seed = seed;
+  scenario.pki_seed = seed + 1;
+  core::apply_battery(scenario, battery, seed);
+
+  if (replay.has_value()) return run_replay(scenario, opts.horizon, *replay);
+
+  sched::Fuzzer fuzzer(scenario, opts);
+  const auto report = fuzzer.run();
+
+  std::cout << "{\n  \"scenario\": {\"topology\": \""
+            << json_escape(net::to_string(scenario.config.topology))
+            << "\", \"auth\": " << (scenario.config.authenticated ? "true" : "false")
+            << ", \"k\": " << scenario.config.k << ", \"tl\": " << scenario.config.tl
+            << ", \"tr\": " << scenario.config.tr << ", \"seed\": " << seed << ", \"battery\": \""
+            << battery_name(battery) << "\", \"adversaries\": " << scenario.adversaries.size()
+            << "},\n";
+  std::cout << "  \"options\": {\"fuzz_seed\": " << opts.seed
+            << ", \"max_execs\": " << opts.max_execs << ", \"batch\": " << opts.batch
+            << ", \"max_ops\": " << opts.max_ops << ", \"max_delay\": " << opts.max_delay
+            << ", \"horizon\": " << opts.horizon
+            << ", \"drop\": " << (opts.allow_drop ? "true" : "false")
+            << ", \"delay\": " << (opts.allow_delay ? "true" : "false")
+            << ", \"reorder\": " << (opts.allow_reorder ? "true" : "false")
+            << ", \"omission_budget\": " << opts.omission_budget
+            << ", \"corrupt_adjacent_only\": " << (opts.corrupt_adjacent_only ? "true" : "false")
+            << ", \"corpus_dir\": \"" << json_escape(opts.corpus_dir) << "\"},\n";
+  std::cout << "  \"fuzz\": {\"execs\": " << report.execs
+            << ", \"corpus_size\": " << report.corpus_size
+            << ", \"corpus_loaded\": " << report.corpus_loaded
+            << ", \"corpus_saved\": " << report.corpus_saved
+            << ", \"coverage\": " << report.coverage << ", \"interesting\": " << report.interesting
+            << ", \"violations\": " << report.violations << "},\n";
   std::cout << "  \"all_satisfied\": " << (report.all_satisfied() ? "true" : "false") << ",\n";
   if (report.counterexample.has_value()) {
     std::cout << "  \"counterexample\": {\"trace\": \""
@@ -605,6 +798,7 @@ int main(int argc, char** argv) {
     const std::string sub = argv[1];
     if (sub == "sweep") return run_sweep_command(argc, argv);
     if (sub == "explore") return run_explore_command(argc, argv);
+    if (sub == "fuzz") return run_fuzz_command(argc, argv);
     if (sub == "bench") {
       // The registered suite = every case group the bench/ binaries run.
       benchcases::register_all();

@@ -1,157 +1,19 @@
 #!/usr/bin/env python3
-"""Validate a `bsm_cli explore` JSON document (schema in docs/BENCHMARKS.md).
+"""Validate a `bsm_cli explore` JSON document.
+
+Compatibility shim: the validator now lives in validate_sched_json.py,
+which handles both the explore and fuzz schemas. This entry point pins
+--schema explore and forwards everything else unchanged.
 
 Usage: validate_explore_json.py PATH [--require-no-violations]
-
-Exits 0 when the document is schema-valid (and, with
---require-no-violations, when the search found zero property violations —
-what CI's explorer smoke step asserts for the in-envelope schedule space).
-Prints every violation found, not just the first.
 """
-import json
 import sys
 
-SCENARIO_FIELDS = {
-    "topology": str,
-    "auth": bool,
-    "k": int,
-    "tl": int,
-    "tr": int,
-    "seed": int,
-    "battery": str,
-    "adversaries": int,
-}
-
-OPTIONS_FIELDS = {
-    "max_depth": int,
-    "max_delay": int,
-    "horizon": int,
-    "drop": bool,
-    "delay": bool,
-    "reorder": bool,
-    "corrupt_adjacent_only": bool,
-    "max_schedules": int,
-}
-
-SCHEDULES_FIELDS = {
-    "explored": int,
-    "pruned": int,
-    "violations": int,
-    "depth_reached": int,
-    "truncated": bool,
-}
-
-COUNTEREXAMPLE_FIELDS = {
-    "trace": str,
-    "ops": int,
-    "shrink_runs": int,
-    "views": list,
-}
-
-
-def check_fields(obj, fields, where, errors):
-    if not isinstance(obj, dict):
-        errors.append(f"{where}: expected an object")
-        return
-    for key, types in fields.items():
-        if key not in obj:
-            errors.append(f"{where}: missing field '{key}'")
-            continue
-        value = obj[key]
-        if types is int and isinstance(value, bool):
-            errors.append(f"{where}: field '{key}' must be an integer, got bool")
-        elif types is bool and not isinstance(value, bool):
-            errors.append(f"{where}: field '{key}' must be a bool")
-        elif not isinstance(value, types):
-            errors.append(f"{where}: field '{key}' has wrong type {type(value).__name__}")
-    for key in obj:
-        if key not in fields:
-            errors.append(f"{where}: unknown field '{key}'")
-
-
-def validate(doc):
-    errors = []
-    if not isinstance(doc, dict):
-        return ["top level: expected a JSON object"]
-    for key in ("scenario", "options", "schedules", "all_satisfied", "counterexample"):
-        if key not in doc:
-            errors.append(f"top level: missing field '{key}'")
-    for key in doc:
-        if key not in ("scenario", "options", "schedules", "all_satisfied", "counterexample"):
-            errors.append(f"top level: unknown field '{key}'")
-
-    check_fields(doc.get("scenario", {}), SCENARIO_FIELDS, "scenario", errors)
-    check_fields(doc.get("options", {}), OPTIONS_FIELDS, "options", errors)
-    check_fields(doc.get("schedules", {}), SCHEDULES_FIELDS, "schedules", errors)
-
-    if not isinstance(doc.get("all_satisfied"), bool):
-        errors.append("top level: all_satisfied must be a bool")
-
-    sched = doc.get("schedules", {})
-    if isinstance(sched, dict):
-        if isinstance(sched.get("explored"), int) and sched["explored"] < 1:
-            errors.append("schedules: explored must be >= 1 (the unperturbed "
-                          "schedule always runs)")
-        violations = sched.get("violations")
-        if isinstance(violations, int) and isinstance(doc.get("all_satisfied"), bool):
-            if doc["all_satisfied"] != (violations == 0):
-                errors.append("top level: all_satisfied must equal (violations == 0)")
-
-    counterexample = doc.get("counterexample")
-    if counterexample is not None:
-        check_fields(counterexample, COUNTEREXAMPLE_FIELDS, "counterexample", errors)
-        if isinstance(counterexample, dict):
-            views = counterexample.get("views", [])
-            if isinstance(views, list) and not all(
-                    isinstance(v, int) and not isinstance(v, bool) for v in views):
-                errors.append("counterexample: views must contain only integers")
-            trace = counterexample.get("trace")
-            ops = counterexample.get("ops")
-            if isinstance(trace, str) and isinstance(ops, int):
-                op_count = 0 if trace == "" else trace.count(";") + 1
-                if op_count != ops:
-                    errors.append(f"counterexample: ops {ops} != trace op count {op_count}")
-    if isinstance(doc.get("all_satisfied"), bool) and doc["all_satisfied"] \
-            and counterexample is not None:
-        errors.append("top level: a satisfied search must not carry a counterexample")
-    return errors
+import validate_sched_json
 
 
 def main(argv):
-    require_clean = False
-    args = []
-    for a in argv[1:]:
-        if a == "--require-no-violations":
-            require_clean = True
-        elif a.startswith("--"):
-            print(f"unknown flag: {a}", file=sys.stderr)
-            return 2
-        else:
-            args.append(a)
-    if len(args) != 1:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-
-    try:
-        with open(args[0], encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"FAIL: {args[0]}: {e}", file=sys.stderr)
-        return 1
-
-    errors = validate(doc)
-    if require_clean and doc.get("schedules", {}).get("violations") != 0:
-        errors.append("run verdict: violations != 0 (--require-no-violations)")
-
-    for e in errors:
-        print(f"FAIL: {e}", file=sys.stderr)
-    if errors:
-        return 1
-    sched = doc.get("schedules", {})
-    print(f"OK: {args[0]}: {sched.get('explored')} schedule(s) explored, "
-          f"{sched.get('pruned')} pruned, {sched.get('violations')} violation(s), "
-          f"all_satisfied={doc.get('all_satisfied')}")
-    return 0
+    return validate_sched_json.main([argv[0], "--schema", "explore"] + argv[1:])
 
 
 if __name__ == "__main__":
