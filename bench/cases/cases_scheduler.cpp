@@ -11,13 +11,25 @@
 //   canonical setting recurs across seeds) with the OracleCache enabled vs
 //   bypassed, quantifying the memoized solvability/protocol resolution and
 //   asserting the hot run actually hits (> 50% by construction).
+//
+//   sweep/jsonl_stream vs sweep/shard_overhead — the streaming layer
+//   (core/shard.hpp) over the same executor: jsonl_stream runs one grid
+//   as a single 1/1 JSONL stream (render + checkpoint cost over raw
+//   run_sweep), shard_overhead runs the identical grid as a 4-way shard
+//   split executed back-to-back in-process, so its delta over
+//   jsonl_stream prices the per-shard setup, header/summary duplication,
+//   and the merge. Both assert the byte contract: the shard documents
+//   must reassemble into the 1/1 stream exactly.
 #include <cstdint>
+#include <span>
+#include <sstream>
 #include <vector>
 
 #include "cases/cases.hpp"
 #include "cases/digest.hpp"
 #include "common/hash.hpp"
 #include "core/bench.hpp"
+#include "core/shard.hpp"
 #include "core/sweep.hpp"
 
 namespace bsm::benchcases {
@@ -126,6 +138,57 @@ void fold(BenchRun& run, const std::vector<core::CellResult>& results) {
   return run;
 }
 
+/// The streaming cases' grid: two topologies, both batteries, the full
+/// k=2 budget range, seed-repeated — a moderate, evenly weighted list.
+[[nodiscard]] std::vector<core::ScenarioSpec> stream_cells() {
+  core::SweepGrid grid;
+  grid.topologies = {TopologyKind::FullyConnected, TopologyKind::OneSided};
+  grid.auths = {true};
+  grid.ks = {2};
+  grid.batteries = {core::Battery::Silent, core::Battery::Liars};
+  grid.seeds = {1, 2, 3, 4};
+  return grid.cells();
+}
+
+/// Run stream_cells() as `shards` sequential JSONL shard streams, then
+/// merge. The in-process back-to-back execution stands in for the fleet;
+/// the digest folds each shard's emitted-line digest plus the merged
+/// bytes, so any byte drift between repeats fails the determinism
+/// cross-check (cross-shard-count byte identity is tests/shard_test.cpp's
+/// job — here a reassembly mismatch already fails via merge_jsonl).
+[[nodiscard]] BenchRun run_stream(const BenchContext& ctx, std::uint32_t shards) {
+  const auto cells = stream_cells();
+  BenchRun run;
+  std::vector<std::string> docs;
+  for (std::uint32_t i = 1; i <= shards; ++i) {
+    core::OracleCache cache;  // per-shard, like separate processes
+    core::StreamOptions opts;
+    opts.shard = {i, shards};
+    opts.checkpoint_every = 16;
+    opts.sweep.threads = ctx.threads;
+    opts.sweep.oracle = &cache;
+    std::ostringstream out;
+    const core::StreamStats st = core::stream_sweep(cells, opts, out);
+    run.cells += st.cells;
+    run.rounds += st.sweep.chunks;  // scheduler work units; traffic stays per-line
+    run.ok &= st.all_ok && st.emitted == st.cells;
+    run.digest = hash_combine(run.digest, st.digest);
+    docs.push_back(out.str());
+  }
+  run.ok &= run.cells == cells.size();
+
+  std::string error;
+  const auto merged = core::merge_jsonl(docs, &error);
+  run.ok &= merged.has_value();
+  if (merged.has_value()) {
+    run.bytes += merged->size();
+    run.digest = hash_combine(
+        run.digest, fnv1a64(std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(merged->data()), merged->size())));
+  }
+  return run;
+}
+
 }  // namespace
 
 void register_sweep_scheduler() {
@@ -141,6 +204,10 @@ void register_sweep_scheduler() {
                         [](const BenchContext& ctx) {
                           return run_skewed(ctx, core::Schedule::WorkStealing, 4, 4, 28);
                         }});
+  core::register_bench(
+      {"sweep/jsonl_stream", [](const BenchContext& ctx) { return run_stream(ctx, 1); }});
+  core::register_bench(
+      {"sweep/shard_overhead", [](const BenchContext& ctx) { return run_stream(ctx, 4); }});
 }
 
 void register_oracle_cache() {

@@ -139,10 +139,13 @@ std::string JsonReporter::render(const std::vector<BenchResult>& results) const 
 
   std::ostringstream out;
   out << "{\n";
+  // The shared report envelope (core/envelope.hpp) leads, then the
+  // bench-specific fields; "tool" is kept for v1 consumers' muscle memory.
   out << "  \"schema_version\": " << kBenchSchemaVersion << ",\n";
-  out << "  \"tool\": \"bsm-bench\",\n";
+  out << "  \"subcommand\": \"bench\",\n";
   out << "  \"git_sha\": \"" << json_escape(git_sha_) << "\",\n";
   out << "  \"threads\": " << threads_ << ",\n";
+  out << "  \"tool\": \"bsm-bench\",\n";
   out << "  \"total_cases\": " << results.size() << ",\n";
   out << "  \"all_ok\": " << (all_ok ? "true" : "false") << ",\n";
   out << "  \"all_deterministic\": " << (all_deterministic ? "true" : "false") << ",\n";
@@ -178,69 +181,60 @@ std::string JsonReporter::render(const std::vector<BenchResult>& results) const 
   return out.str();
 }
 
-namespace {
-
-void bench_usage(const char* prog) {
-  std::cout << prog << " — bsm benchmark harness\n"
-            << "  --threads N       worker threads for parallel cases (default: 0 = hardware)\n"
-            << "  --repeats N       override every case's repeat count\n"
-            << "  --filter REGEX    run only cases whose name matches (regex search)\n"
-            << "  --json PATH|-     write BENCH_results.json to PATH ('-' = stdout)\n"
-            << "  --list            print registered case names and exit\n"
-            << "  --help            this text\n"
-            << "Schema: docs/BENCHMARKS.md. Exit: 0 ok, 1 case failure, 2 usage error.\n";
+cli::Subcommand bench_subcommand(BenchCliState& state) {
+  cli::Subcommand sub;
+  sub.name = "bench";
+  sub.summary = "run the benchmark suite, emit BENCH_results.json on stdout";
+  sub.intro =
+      "runs every registered benchmark case group — the same cases\n"
+      "the bench/ binaries run — and prints the versioned BENCH_results.json\n"
+      "schema, documented in docs/BENCHMARKS.md, on stdout; exit 0 iff every\n"
+      "case was ok and deterministic, 1 on a failed case, 2 on a usage error";
+  sub.flags = {
+      cli::value_flag("--threads", "N",
+                      "worker threads for parallel cases (default: 0 = hardware)",
+                      [&state](const std::string& v) -> std::optional<std::string> {
+                        std::uint64_t n = 0;
+                        if (auto reason = cli::parse_bounded(v, 0, 1024, n)) return reason;
+                        state.opts.threads = static_cast<unsigned>(n);
+                        return std::nullopt;
+                      }),
+      cli::value_flag("--repeats", "N", "override every case's repeat count",
+                      [&state](const std::string& v) -> std::optional<std::string> {
+                        std::uint64_t n = 0;
+                        if (auto reason = cli::parse_bounded(v, 1, 1000, n)) return reason;
+                        state.opts.repeats = static_cast<int>(n);
+                        return std::nullopt;
+                      }),
+      cli::value_flag("--filter", "REGEX", "run only cases whose name matches (regex search)",
+                      [&state](const std::string& v) -> std::optional<std::string> {
+                        state.opts.filter = v;
+                        return std::nullopt;
+                      }),
+      cli::value_flag("--json", "PATH|-",
+                      "write BENCH_results.json to PATH ('-' = stdout)",
+                      [&state](const std::string& v) -> std::optional<std::string> {
+                        state.json_path = v;
+                        return std::nullopt;
+                      }),
+      cli::flag("--list", "print registered case names and exit",
+                [&state] { state.list = true; }),
+  };
+  return sub;
 }
 
-}  // namespace
-
 int bench_main(int argc, char** argv, const BenchMainConfig& cfg) {
-  BenchOptions opts;
-  std::string json_path = cfg.default_json;
-  bool list_only = false;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (arg == "--help") {
-      bench_usage(argv[0]);
-      return 0;
-    }
-    if (arg == "--list") {
-      list_only = true;
-      continue;
-    }
-    if (arg != "--threads" && arg != "--repeats" && arg != "--filter" && arg != "--json") {
-      std::cerr << "unknown argument: " << arg << " (try --help)\n";
-      return 2;
-    }
-    const auto value = next();
-    if (!value) {
-      std::cerr << "missing value for " << arg << "\n";
-      return 2;
-    }
-    if (arg == "--threads") {
-      const auto parsed = parse_u64(*value);
-      if (!parsed || *parsed > 1024) {
-        std::cerr << "bad --threads value: " << *value << " (expected 0..1024)\n";
-        return 2;
-      }
-      opts.threads = static_cast<unsigned>(*parsed);
-    } else if (arg == "--repeats") {
-      const auto parsed = parse_u64(*value);
-      if (!parsed || *parsed == 0 || *parsed > 1000) {
-        std::cerr << "bad --repeats value: " << *value << " (expected 1..1000)\n";
-        return 2;
-      }
-      opts.repeats = static_cast<int>(*parsed);
-    } else if (arg == "--filter") {
-      opts.filter = *value;
-    } else {  // --json, the only flag left after the known-flag gate above
-      json_path = *value;
-    }
+  BenchCliState state;
+  state.json_path = cfg.default_json;
+  cli::Subcommand sub = bench_subcommand(state);
+  sub.usage_line = std::string(argv[0]) + " [flags]";
+  switch (cli::parse_flags(sub, argc, argv, 1, std::cerr)) {
+    case cli::ParseStatus::Help: return 0;
+    case cli::ParseStatus::Error: return 2;
+    case cli::ParseStatus::Ok: break;
   }
+  const BenchOptions& opts = state.opts;
+  const std::string& json_path = state.json_path;
 
   std::vector<BenchCase> cases;
   try {
@@ -250,7 +244,7 @@ int bench_main(int argc, char** argv, const BenchMainConfig& cfg) {
     return 2;
   }
 
-  if (list_only) {
+  if (state.list) {
     for (const auto& c : cases) std::cout << c.name << "\n";
     return 0;
   }

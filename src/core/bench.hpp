@@ -23,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "common/cli_options.hpp"
 #include "common/types.hpp"
+#include "core/envelope.hpp"
 
 namespace bsm::core {
 
@@ -125,8 +127,9 @@ struct BenchOptions {
 [[nodiscard]] std::vector<BenchResult> run_benchmarks(const std::vector<BenchCase>& cases,
                                                       const BenchOptions& opts = {});
 
-/// The BENCH_results.json schema version this build emits.
-inline constexpr int kBenchSchemaVersion = 1;
+/// The BENCH_results.json schema version this build emits — since v2,
+/// the shared report envelope's version (see core/envelope.hpp).
+inline constexpr int kBenchSchemaVersion = kJsonSchemaVersion;
 
 /// Commit the binary was configured from (CMake bakes it in at configure
 /// time; "unknown" outside a git checkout — and stale until the next
@@ -146,6 +149,18 @@ class JsonReporter {
   unsigned threads_;
   std::string git_sha_;
 };
+
+/// The option state bench_main's flag table binds to.
+struct BenchCliState {
+  BenchOptions opts;
+  std::string json_path;  ///< --json target; "" = human summary, "-" = stdout
+  bool list = false;      ///< --list: print case names and exit
+};
+
+/// The declarative bench flag table (see common/cli_options.hpp), bound to
+/// `state` — bench_main parses with it, and bsm_cli renders it into the
+/// top-level help so the table is the single source of bench flags.
+[[nodiscard]] cli::Subcommand bench_subcommand(BenchCliState& state);
 
 /// Behaviour knobs for bench_main (the shared CLI entry point).
 struct BenchMainConfig {

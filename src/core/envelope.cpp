@@ -1,0 +1,29 @@
+#include "core/envelope.hpp"
+
+#include <sstream>
+#include <thread>
+
+#include "core/bench.hpp"
+
+namespace bsm::core {
+
+unsigned resolve_report_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::string envelope_json_with_sha(const std::string& subcommand, const std::string& git_sha,
+                                   unsigned threads, bool include_threads) {
+  std::ostringstream out;
+  out << "\"schema_version\": " << kJsonSchemaVersion << ", \"subcommand\": \"" << subcommand
+      << "\", \"git_sha\": \"" << git_sha << "\"";
+  if (include_threads) out << ", \"threads\": " << resolve_report_threads(threads);
+  return out.str();
+}
+
+std::string envelope_json(const std::string& subcommand, unsigned threads, bool include_threads) {
+  return envelope_json_with_sha(subcommand, build_git_sha(), threads, include_threads);
+}
+
+}  // namespace bsm::core

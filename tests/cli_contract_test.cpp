@@ -9,9 +9,18 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
 
 struct CliResult {
   int exit_code = -1;
@@ -37,14 +46,14 @@ struct CliResult {
 TEST(CliContract, HelpExitsZeroAndDocumentsEverySubcommand) {
   const auto result = run_cli("--help");
   EXPECT_EQ(result.exit_code, 0);
-  for (const char* word :
-       {"run", "sweep", "explore", "fuzz", "bench", "--replay", "--max-depth", "--max-execs"}) {
+  for (const char* word : {"run", "sweep", "merge", "explore", "fuzz", "bench", "--replay",
+                           "--max-depth", "--max-execs", "--shard", "--resume"}) {
     EXPECT_NE(result.output.find(word), std::string::npos) << "help must mention " << word;
   }
 }
 
 TEST(CliContract, SubcommandHelpExitsZero) {
-  for (const char* sub : {"run", "sweep", "explore", "fuzz"}) {
+  for (const char* sub : {"run", "sweep", "merge", "explore", "fuzz", "bench"}) {
     const auto result = run_cli(std::string(sub) + " --help");
     EXPECT_EQ(result.exit_code, 0) << sub;
   }
@@ -61,6 +70,7 @@ TEST(CliContract, UnknownFlagsExitTwoAndNameTheFlag) {
       {"fuzz --wat", "--wat"},
       {"fuzz --corpse dir", "--corpse"},
       {"bench --nope", "--nope"},
+      {"merge --frob", "--frob"},
   };
   for (const auto& [args, flag] : cases) {
     const auto result = run_cli(args);
@@ -75,7 +85,9 @@ TEST(CliContract, BadValuesExitTwo) {
        {"explore --k zilch", "explore --battery nuclear", "explore --ops blackhole",
         "explore --replay not-a-trace", "sweep --sched warp", "sweep --sched-seeds 0",
         "sweep --topology moebius", "fuzz --k zilch", "fuzz --battery nuclear",
-        "fuzz --ops blackhole", "fuzz --replay not-a-trace", "fuzz --topology moebius"}) {
+        "fuzz --ops blackhole", "fuzz --replay not-a-trace", "fuzz --topology moebius",
+        "sweep --shard 0/4", "sweep --shard 5/4", "sweep --shard five",
+        "sweep --checkpoint-every 0"}) {
     const auto result = run_cli(args);
     EXPECT_EQ(result.exit_code, 2) << args;
   }
@@ -83,7 +95,7 @@ TEST(CliContract, BadValuesExitTwo) {
 
 TEST(CliContract, MissingValueExitsTwo) {
   for (const char* args : {"explore --k", "sweep --battery", "run --seed", "fuzz --max-execs",
-                           "fuzz --corpus"}) {
+                           "fuzz --corpus", "sweep --out", "sweep --shard", "merge --out"}) {
     const auto result = run_cli(args);
     EXPECT_EQ(result.exit_code, 2) << args;
   }
@@ -169,6 +181,60 @@ TEST(CliContract, ExploreRejectsUnsolvableSettings) {
   const auto result = run_cli("explore --k 2 --tl 2 --tr 2 --no-auth");
   EXPECT_EQ(result.exit_code, 2);
   EXPECT_NE(result.output.find("unsolvable"), std::string::npos) << result.output;
+}
+
+TEST(CliContract, SweepShardAndResumeRequireOut) {
+  for (const char* args : {"sweep --shard 1/2", "sweep --resume"}) {
+    const auto result = run_cli(args);
+    EXPECT_EQ(result.exit_code, 2) << args;
+    EXPECT_NE(result.output.find("--out"), std::string::npos)
+        << "'" << args << "' must point at --out; got: " << result.output;
+  }
+}
+
+TEST(CliContract, MergeWithNoInputsExitsTwo) {
+  const auto result = run_cli("merge");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CliContract, ShardedSweepMergesByteIdenticalAndResumes) {
+  // End-to-end through the real binary: a 2-way shard split of a small
+  // grid, merged, must byte-match the 1/1 file; a truncated shard rerun
+  // with --resume must converge to the same bytes.
+  const fs::path dir = fs::temp_directory_path() / "bsm_cli_contract_shard";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string grid =
+      "sweep --topology fully --auth on --k 2 --tl 0,1,2 --tr 0,1 --seeds 2 "
+      "--battery silent --checkpoint-every 2 ";
+  const std::string single_path = (dir / "single.jsonl").string();
+  const std::string s1_path = (dir / "s1.jsonl").string();
+  const std::string s2_path = (dir / "s2.jsonl").string();
+
+  EXPECT_EQ(run_cli(grid + "--out " + single_path).exit_code, 0);
+  EXPECT_EQ(run_cli(grid + "--out " + s1_path + " --shard 1/2 --threads 2").exit_code, 0);
+  EXPECT_EQ(run_cli(grid + "--out " + s2_path + " --shard 2/2 --threads 3").exit_code, 0);
+
+  const std::string single = read_file(single_path);
+  ASSERT_FALSE(single.empty());
+
+  const auto merged = run_cli("merge " + s2_path + " " + s1_path);
+  EXPECT_EQ(merged.exit_code, 0);
+  EXPECT_EQ(merged.output, single) << "merged shards diverged from the 1/1 stream";
+
+  // Kill shard 1 mid-file and resume it; its bytes must converge.
+  const std::string s1 = read_file(s1_path);
+  ASSERT_GT(s1.size(), 40U);
+  fs::resize_file(s1_path, s1.size() / 2);
+  const auto resumed = run_cli(grid + "--out " + s1_path + " --shard 1/2 --resume");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("\"resumed\": "), std::string::npos) << resumed.output;
+  EXPECT_EQ(read_file(s1_path), s1);
+
+  // A resume against a different grid/shard must be refused.
+  const auto mismatch = run_cli(grid + "--out " + s1_path + " --shard 2/2 --resume");
+  EXPECT_EQ(mismatch.exit_code, 2);
+  fs::remove_all(dir);
 }
 
 }  // namespace

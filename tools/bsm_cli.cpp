@@ -1,23 +1,28 @@
 // bsm_cli — run any byzantine-stable-matching scenario from the command
-// line and inspect the outcome, sweep whole scenario grids in parallel,
-// or run the registered benchmark suite.
+// line and inspect the outcome, sweep whole scenario grids in parallel
+// (monolithic or sharded/streamed/resumable), merge shard outputs, run
+// systematic or fuzzing schedule searches, or run the benchmark suite.
 //
-// Subcommands (see usage() or `bsm_cli --help` for every flag):
+// Subcommands (see `bsm_cli --help` for every flag):
 //   bsm_cli [run] [flags]    one scenario, human-readable outcome table
-//   bsm_cli sweep [flags]    a cartesian scenario grid via run_sweep(),
-//                            one machine-readable JSON document on stdout
+//   bsm_cli sweep [flags]    a cartesian scenario grid via run_sweep();
+//                            one inline JSON document on stdout, or — with
+//                            --out — a streamed JSONL shard document plus
+//                            a JSON summary report (core/shard.hpp)
+//   bsm_cli merge [flags]    merge + validate shard JSONL files into the
+//                            canonical single-process document
 //   bsm_cli explore [flags]  systematic delivery-schedule search (sched::explore)
 //   bsm_cli fuzz [flags]     coverage-guided schedule fuzzing (sched::Fuzzer)
-//   bsm_cli bench [flags]    the full benchmark suite (every bench/ case
-//                            group) via the shared harness; emits the
-//                            BENCH_results.json schema on stdout
+//   bsm_cli bench [flags]    the full benchmark suite via the shared harness
 //
-// Adversaries are assigned to the highest-budget ids per side, one flag per
-// corrupted party, alternating L then R while budget remains. Exits 0 when
-// all four bSM properties held; 2 when the setting is unsolvable per the
-// paper (or on a usage error); 1 on a property violation (which inside the
-// solvable region would be a library bug — please report it).
-#include <cstring>
+// Every subcommand parses through the declarative flag tables in
+// common/cli_options.hpp (one table per subcommand, below) and every
+// machine-readable report leads with the shared JSON envelope
+// (core/envelope.hpp). Exits 0 when all four bSM properties held; 2 when
+// the setting is unsolvable per the paper (or on a usage error); 1 on a
+// property violation (which inside the solvable region would be a library
+// bug — please report it).
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -25,11 +30,15 @@
 #include "adversary/shims.hpp"
 #include "adversary/strategies.hpp"
 #include "cases/cases.hpp"
+#include "common/cli_options.hpp"
 #include "common/codec.hpp"
+#include "common/hash.hpp"
 #include "common/table.hpp"
 #include "core/bench.hpp"
+#include "core/envelope.hpp"
 #include "core/oracle.hpp"
 #include "core/runner.hpp"
+#include "core/shard.hpp"
 #include "core/sweep.hpp"
 #include "matching/generators.hpp"
 #include "sched/explorer.hpp"
@@ -39,114 +48,7 @@ namespace {
 
 using namespace bsm;
 
-void usage() {
-  std::cout <<
-      R"(bsm_cli — byzantine stable matching toolkit
-
-usage:
-  bsm_cli [run] [flags]     run one scenario, print the outcome table
-  bsm_cli sweep [flags]     run a scenario grid in parallel, emit JSON on stdout
-  bsm_cli explore [flags]   systematic delivery-schedule search, emit JSON on stdout
-  bsm_cli fuzz [flags]      coverage-guided schedule fuzzing, emit JSON on stdout
-  bsm_cli bench [flags]     run the benchmark suite, emit BENCH_results.json on stdout
-  bsm_cli --help            this text (also: bsm_cli SUBCOMMAND --help)
-
-run flags (exit 0 = all four bSM properties held, 1 = violation,
-2 = unsolvable setting or usage error):
-  --topology fully|one-sided|bipartite   network topology  (default: fully)
-  --auth / --no-auth                     PKI available?    (default: auth)
-  --k N                                  parties per side  (default: 4)
-  --tl N / --tr N                        corruption budgets (default: 1/1)
-  --seed S                               workload seed     (default: 1)
-  --adversary KIND                       add one corrupted party, kinds:
-                                         silent noise liar split crash
-  --verbose                              print preference lists too
-
-sweep flags (enumerates the cartesian grid over every axis below, runs
-each cell on a work-stealing thread pool, and prints one JSON document:
-per-cell topology/auth/k/tl/tr/seed, solvability, protocol, rounds,
-messages, bytes, and the four property verdicts, plus aggregate totals,
-the scheduler shape (threads/chunks/steals), and the oracle-cache
-counters (hits/misses/inserts/hit_rate); exit 0 iff every solvable cell
-held all four properties):
-  --topology LIST      comma list of fully,one-sided,bipartite (default all)
-  --auth both|on|off   authentication axis             (default: both)
-  --k LIST             comma list of market sizes      (default: 3)
-  --tl LIST / --tr LIST  comma lists of budgets        (default: 0..k)
-  --seeds N            workload seeds 1..N             (default: 2)
-  --battery LIST       comma list of silent,noise,liars,adaptive,omission
-                       (default: all but omission)
-  --sched KIND         delivery schedule per cell: sync,delay,omit (default: sync;
-                       delay/omit perturb only corrupt-adjacent channels)
-  --sched-seeds N      fan each setting out over N schedule seeds  (default: 1)
-  --threads N          worker threads, 0 = hardware    (default: 0)
-  --schedule stealing|static  cell scheduler           (default: stealing)
-
-explore flags (bounded iterative-deepening search over per-round delivery
-perturbations — drop/delay/reorder of channel-round groups — of one
-scenario, pruned by per-round view-hash state digests; prints one JSON
-document with schedules explored/pruned, violations, and a minimized
-counterexample trace when one exists; exit 0 = every explored schedule
-satisfied all four properties, 1 = violation found, 2 = usage error or
-unsolvable setting):
-  --topology fully|one-sided|bipartite   topology       (default: fully)
-  --auth / --no-auth                     PKI available? (default: auth)
-  --k N / --tl N / --tr N    market size and budgets    (default: 2/1/0)
-  --seed S                   workload seed              (default: 1)
-  --battery KIND             silent,noise,liars,adaptive,omission (default: silent)
-  --max-depth N              max perturbation ops per schedule (default: 2)
-  --max-delay N              delay ops slip 1..N rounds (default: 1)
-  --horizon N                rounds to simulate, 0 = protocol deadline (default: 0)
-  --ops LIST                 comma list of drop,delay,reorder (default: drop,delay)
-  --include-honest           also perturb honest-honest channels (beyond the
-                             fault envelope; violations become expected)
-  --max-schedules N          cap on exploration runs    (default: 4096)
-  --threads N                per-wave fan-out, 0 = hardware (default: 0)
-  --replay TRACE             skip the search: replay one serialized schedule
-                             trace and report its outcome
-
-fuzz flags (coverage-guided greybox loop over the same schedule space as
-explore: a corpus of interesting traces — ones that reached a new
-per-round view-hash trail prefix — is mutated inside the fault envelope,
-parents picked by coverage energy; prints one JSON document with
-execs/corpus/coverage/violations and a 1-minimal counterexample trace
-when one exists; same seed = bit-identical report at any thread count;
-exit 0 = no violation found, 1 = violation found, 2 = usage error or
-unsolvable setting):
-  --topology fully|one-sided|bipartite   topology       (default: fully)
-  --auth / --no-auth                     PKI available? (default: auth)
-  --k N / --tl N / --tr N    market size and budgets    (default: 2/1/0)
-  --seed S                   workload seed              (default: 1)
-  --battery KIND             silent,noise,liars,adaptive,omission (default: silent)
-  --fuzz-seed S              mutation/selection rng seed (default: 1)
-  --max-execs N              total simulation budget    (default: 2048)
-  --batch N                  candidates per parallel wave (default: 32)
-  --max-ops N                op cap per mutated trace   (default: 8)
-  --ops LIST                 comma list of drop,delay,reorder (default: drop,delay)
-  --max-delay N              delay ops slip 1..N rounds (default: 2)
-  --omission-budget N        max drops charged to one target (default: 4)
-  --horizon N                rounds to simulate, 0 = protocol deadline (default: 0)
-  --include-honest           also mutate honest-honest channels (beyond the
-                             fault envelope; violations become expected)
-  --corpus DIR               load seed traces from DIR before fuzzing and
-                             save the final corpus back (digest-keyed files)
-  --threads N                per-wave fan-out, 0 = hardware (default: 0)
-  --replay TRACE             skip the fuzzing: replay one serialized schedule
-                             trace and report its outcome
-
-bench flags (runs every registered benchmark case group — the same cases
-the bench/ binaries run — and prints the versioned BENCH_results.json
-schema, documented in docs/BENCHMARKS.md, on stdout; exit 0 iff every
-case was ok and deterministic):
-  --threads N          worker threads for parallel cases (default: 0 = hardware)
-  --repeats N          override every case's repeat count
-  --filter REGEX       run only cases whose name matches
-  --json PATH|-        write the JSON to PATH instead of stdout
-  --list               print registered case names and exit
-)";
-}
-
-// ------------------------------------------------------------- sweep mode
+// -------------------------------------------------------- shared parsers
 
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -165,6 +67,13 @@ case was ok and deterministic):
     out.push_back(c);
   }
   return out;
+}
+
+[[nodiscard]] std::optional<net::TopologyKind> parse_topology(const std::string& name) {
+  if (name == "fully") return net::TopologyKind::FullyConnected;
+  if (name == "one-sided") return net::TopologyKind::OneSided;
+  if (name == "bipartite") return net::TopologyKind::Bipartite;
+  return std::nullopt;
 }
 
 [[nodiscard]] std::optional<core::Battery> parse_battery(const std::string& name) {
@@ -192,169 +101,335 @@ case was ok and deterministic):
   return "?";
 }
 
-int run_sweep_command(int argc, char** argv) {
+/// Row factory for a bounded integer flag writing through `assign`.
+template <typename Assign>
+[[nodiscard]] cli::FlagSpec bounded_flag(std::string name, std::string value_name,
+                                         std::string help, std::uint64_t lo, std::uint64_t hi,
+                                         Assign assign) {
+  return cli::value_flag(
+      std::move(name), std::move(value_name), std::move(help),
+      [lo, hi, assign](const std::string& v) -> std::optional<std::string> {
+        std::uint64_t n = 0;
+        if (auto reason = cli::parse_bounded(v, lo, hi, n)) return reason;
+        assign(n);
+        return std::nullopt;
+      });
+}
+
+/// The scenario axes shared by explore and fuzz (one fixed cell, not a
+/// grid): topology/auth/k/tl/tr/seed/battery.
+void add_scenario_flags(cli::Subcommand& sub, core::BsmConfig& cfg, std::uint64_t& seed,
+                        core::Battery& battery) {
+  sub.flags.push_back(cli::value_flag(
+      "--topology", "KIND", "fully|one-sided|bipartite topology (default: fully)",
+      [&cfg](const std::string& v) -> std::optional<std::string> {
+        const auto parsed = parse_topology(v);
+        if (!parsed) return "expected fully|one-sided|bipartite";
+        cfg.topology = *parsed;
+        return std::nullopt;
+      }));
+  sub.flags.push_back(
+      cli::flag("--auth", "PKI available (default)", [&cfg] { cfg.authenticated = true; }));
+  sub.flags.push_back(
+      cli::flag("--no-auth", "no PKI", [&cfg] { cfg.authenticated = false; }));
+  sub.flags.push_back(bounded_flag("--k", "N", "parties per side (default: 2)", 0, 1'000'000,
+                                   [&cfg](std::uint64_t n) { cfg.k = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag("--tl", "N", "corruption budget within L (default: 1)", 0,
+                                   1'000'000,
+                                   [&cfg](std::uint64_t n) { cfg.tl = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag("--tr", "N", "corruption budget within R (default: 0)", 0,
+                                   1'000'000,
+                                   [&cfg](std::uint64_t n) { cfg.tr = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag("--seed", "S", "workload seed (default: 1)", 0, 1'000'000,
+                                   [&seed](std::uint64_t n) { seed = n; }));
+  sub.flags.push_back(cli::value_flag(
+      "--battery", "KIND", "silent,noise,liars,adaptive,omission (default: silent)",
+      [&battery](const std::string& v) -> std::optional<std::string> {
+        const auto parsed = parse_battery(v);
+        if (!parsed) return "expected silent|noise|liars|adaptive|omission";
+        battery = *parsed;
+        return std::nullopt;
+      }));
+}
+
+/// The --ops row shared by explore and fuzz.
+[[nodiscard]] cli::FlagSpec ops_flag(bool& drop, bool& delay, bool& reorder) {
+  return cli::value_flag(
+      "--ops", "LIST", "comma list of drop,delay,reorder (default: drop,delay)",
+      [&drop, &delay, &reorder](const std::string& v) -> std::optional<std::string> {
+        bool d = false;
+        bool dl = false;
+        bool r = false;
+        for (const auto& op : split_csv(v)) {
+          if (op == "drop") {
+            d = true;
+          } else if (op == "delay") {
+            dl = true;
+          } else if (op == "reorder") {
+            r = true;
+          } else {
+            return "unknown op: " + op + ", expected drop|delay|reorder";
+          }
+        }
+        drop = d;
+        delay = dl;
+        reorder = r;
+        return std::nullopt;
+      });
+}
+
+// ------------------------------------------------------------- sweep mode
+
+/// Everything the sweep flag table binds to.
+struct SweepCli {
   core::SweepGrid grid;
-  grid.topologies = {net::TopologyKind::FullyConnected, net::TopologyKind::OneSided,
-                     net::TopologyKind::Bipartite};
-  grid.auths = {false, true};
-  grid.ks = {3};
-  grid.batteries = {core::Battery::Silent, core::Battery::Noise, core::Battery::Liars,
-                    core::Battery::AdaptiveCrash};
   std::uint64_t num_seeds = 2;
   std::uint64_t sched_seeds = 1;
   sched::PolicyDesc sched_base;
   core::SweepOptions opts;
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (arg == "--help") {
-      usage();
-      return 0;
-    }
-    if (arg != "--topology" && arg != "--auth" && arg != "--k" && arg != "--tl" &&
-        arg != "--tr" && arg != "--seeds" && arg != "--battery" && arg != "--threads" &&
-        arg != "--schedule" && arg != "--sched" && arg != "--sched-seeds") {
-      std::cerr << "unknown sweep argument: " << arg << " (try --help)\n";
-      return 2;
-    }
-    const auto value = next();
-    if (!value) {
-      std::cerr << "missing value for " << arg << "\n";
-      return 2;
-    }
-    if (arg == "--topology") {
-      grid.topologies.clear();
-      for (const auto& t : split_csv(*value)) {
-        if (t == "fully") {
-          grid.topologies.push_back(net::TopologyKind::FullyConnected);
-        } else if (t == "one-sided") {
-          grid.topologies.push_back(net::TopologyKind::OneSided);
-        } else if (t == "bipartite") {
-          grid.topologies.push_back(net::TopologyKind::Bipartite);
-        } else {
-          std::cerr << "unknown topology: " << t << "\n";
-          return 2;
-        }
-      }
-    } else if (arg == "--auth") {
-      if (*value == "both") {
-        grid.auths = {false, true};
-      } else if (*value == "on") {
-        grid.auths = {true};
-      } else if (*value == "off") {
-        grid.auths = {false};
-      } else {
-        std::cerr << "unknown --auth value: " << *value << "\n";
-        return 2;
-      }
-    } else if (arg == "--k" || arg == "--tl" || arg == "--tr") {
-      std::vector<std::uint32_t> values;
-      for (const auto& v : split_csv(*value)) {
-        const auto parsed = parse_u64(v);
-        if (!parsed || *parsed > 64) {
-          std::cerr << "bad " << arg << " value: " << v << " (expected 0..64)\n";
-          return 2;
-        }
-        values.push_back(static_cast<std::uint32_t>(*parsed));
-      }
-      if (arg == "--k") grid.ks = values;
-      if (arg == "--tl") grid.tls = values;
-      if (arg == "--tr") grid.trs = values;
-    } else if (arg == "--seeds") {
-      const auto parsed = parse_u64(*value);
-      if (!parsed || *parsed == 0 || *parsed > 10000) {
-        std::cerr << "bad --seeds value: " << *value << " (expected 1..10000)\n";
-        return 2;
-      }
-      num_seeds = *parsed;
-    } else if (arg == "--battery") {
-      grid.batteries.clear();
-      for (const auto& b : split_csv(*value)) {
-        const auto battery = parse_battery(b);
-        if (!battery) {
-          std::cerr << "unknown battery: " << b << "\n";
-          return 2;
-        }
-        grid.batteries.push_back(*battery);
-      }
-    } else if (arg == "--sched") {
-      if (*value == "sync") {
-        sched_base.kind = sched::PolicyDesc::Kind::Synchronous;
-      } else if (*value == "delay") {
-        sched_base.kind = sched::PolicyDesc::Kind::RandomDelay;
-      } else if (*value == "omit") {
-        sched_base.kind = sched::PolicyDesc::Kind::TargetedOmission;
-      } else {
-        std::cerr << "unknown --sched value: " << *value << " (sync|delay|omit)\n";
-        return 2;
-      }
-    } else if (arg == "--sched-seeds") {
-      const auto parsed = parse_u64(*value);
-      if (!parsed || *parsed == 0 || *parsed > 10000) {
-        std::cerr << "bad --sched-seeds value: " << *value << " (expected 1..10000)\n";
-        return 2;
-      }
-      sched_seeds = *parsed;
-    } else if (arg == "--schedule") {
-      if (*value == "stealing") {
-        opts.schedule = core::Schedule::WorkStealing;
-      } else if (*value == "static") {
-        opts.schedule = core::Schedule::Static;
-      } else {
-        std::cerr << "unknown --schedule value: " << *value << " (stealing|static)\n";
-        return 2;
-      }
-    } else {  // --threads, the only flag left after the known-flag gate above
-      const auto parsed = parse_u64(*value);
-      if (!parsed || *parsed > 1024) {
-        std::cerr << "bad --threads value: " << *value << " (expected 0..1024)\n";
-        return 2;
-      }
-      opts.threads = static_cast<unsigned>(*parsed);
-    }
-  }
-  grid.seeds.clear();
-  for (std::uint64_t s = 1; s <= num_seeds; ++s) grid.seeds.push_back(s);
-  grid.scheds = core::schedule_axis(sched_base, sched_seeds);
+  // Streaming surface (core/shard.hpp); active iff --out is given.
+  std::string out_path;
+  core::ShardSpec shard;
+  bool shard_given = false;
+  bool resume = false;
+  std::string oracle_dir;
+  std::uint64_t checkpoint_every = 64;
+};
 
+[[nodiscard]] cli::Subcommand sweep_subcommand(SweepCli& o) {
+  cli::Subcommand sub;
+  sub.name = "sweep";
+  sub.summary = "run a scenario grid in parallel, emit JSON (or JSONL shards) on stdout";
+  sub.intro =
+      "enumerates the cartesian grid over every axis below and runs\n"
+      "each cell on a work-stealing thread pool. Default output: one inline JSON\n"
+      "document on stdout with per-cell outcomes, aggregate totals, the scheduler\n"
+      "shape, and the oracle-cache counters. With --out FILE.jsonl the results\n"
+      "stream to FILE as JSONL — one line per cell in deterministic grid order\n"
+      "with periodic checkpoint records — and stdout gets a JSON summary report;\n"
+      "--shard i/N runs one contiguous shard of the grid, --resume continues a\n"
+      "killed run from its last complete line, and --oracle-cache DIR persists\n"
+      "solvability verdicts across shard processes. Merged shard outputs are\n"
+      "byte-identical to the single-process sweep (see `bsm_cli merge`).\n"
+      "Exit 0 iff every solvable cell held all four properties";
+  sub.flags = {
+      cli::value_flag("--topology", "LIST",
+                      "comma list of fully,one-sided,bipartite (default: all)",
+                      [&o](const std::string& v) -> std::optional<std::string> {
+                        std::vector<net::TopologyKind> kinds;
+                        for (const auto& t : split_csv(v)) {
+                          const auto parsed = parse_topology(t);
+                          if (!parsed) return "unknown topology: " + t;
+                          kinds.push_back(*parsed);
+                        }
+                        o.grid.topologies = std::move(kinds);
+                        return std::nullopt;
+                      }),
+      cli::value_flag("--auth", "both|on|off", "authentication axis (default: both)",
+                      [&o](const std::string& v) -> std::optional<std::string> {
+                        if (v == "both") {
+                          o.grid.auths = {false, true};
+                        } else if (v == "on") {
+                          o.grid.auths = {true};
+                        } else if (v == "off") {
+                          o.grid.auths = {false};
+                        } else {
+                          return "expected both|on|off";
+                        }
+                        return std::nullopt;
+                      }),
+  };
+  const auto u32_list = [](const std::string& v,
+                           std::vector<std::uint32_t>& out) -> std::optional<std::string> {
+    std::vector<std::uint32_t> values;
+    for (const auto& item : split_csv(v)) {
+      const auto parsed = parse_u64(item);
+      if (!parsed || *parsed > 64) return "expected comma list of 0..64";
+      values.push_back(static_cast<std::uint32_t>(*parsed));
+    }
+    out = std::move(values);
+    return std::nullopt;
+  };
+  sub.flags.push_back(cli::value_flag(
+      "--k", "LIST", "comma list of market sizes (default: 3)",
+      [&o, u32_list](const std::string& v) { return u32_list(v, o.grid.ks); }));
+  sub.flags.push_back(cli::value_flag(
+      "--tl", "LIST", "comma list of L budgets (default: 0..k)",
+      [&o, u32_list](const std::string& v) { return u32_list(v, o.grid.tls); }));
+  sub.flags.push_back(cli::value_flag(
+      "--tr", "LIST", "comma list of R budgets (default: 0..k)",
+      [&o, u32_list](const std::string& v) { return u32_list(v, o.grid.trs); }));
+  sub.flags.push_back(bounded_flag("--seeds", "N", "workload seeds 1..N (default: 2)", 1, 10000,
+                                   [&o](std::uint64_t n) { o.num_seeds = n; }));
+  sub.flags.push_back(cli::value_flag(
+      "--battery", "LIST",
+      "comma list of silent,noise,liars,adaptive,omission (default: all but omission)",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        std::vector<core::Battery> batteries;
+        for (const auto& b : split_csv(v)) {
+          const auto battery = parse_battery(b);
+          if (!battery) return "unknown battery: " + b;
+          batteries.push_back(*battery);
+        }
+        o.grid.batteries = std::move(batteries);
+        return std::nullopt;
+      }));
+  sub.flags.push_back(cli::value_flag(
+      "--sched", "KIND",
+      "delivery schedule per cell: sync,delay,omit (default: sync;\n"
+      "                        delay/omit perturb only corrupt-adjacent channels)",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        if (v == "sync") {
+          o.sched_base.kind = sched::PolicyDesc::Kind::Synchronous;
+        } else if (v == "delay") {
+          o.sched_base.kind = sched::PolicyDesc::Kind::RandomDelay;
+        } else if (v == "omit") {
+          o.sched_base.kind = sched::PolicyDesc::Kind::TargetedOmission;
+        } else {
+          return "expected sync|delay|omit";
+        }
+        return std::nullopt;
+      }));
+  sub.flags.push_back(bounded_flag(
+      "--sched-seeds", "N", "fan each setting out over N schedule seeds (default: 1)", 1, 10000,
+      [&o](std::uint64_t n) { o.sched_seeds = n; }));
+  sub.flags.push_back(bounded_flag(
+      "--threads", "N", "worker threads, 0 = hardware (default: 0)", 0, 1024,
+      [&o](std::uint64_t n) { o.opts.threads = static_cast<unsigned>(n); }));
+  sub.flags.push_back(cli::value_flag(
+      "--schedule", "KIND", "cell scheduler: stealing|static (default: stealing)",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        if (v == "stealing") {
+          o.opts.schedule = core::Schedule::WorkStealing;
+        } else if (v == "static") {
+          o.opts.schedule = core::Schedule::Static;
+        } else {
+          return "expected stealing|static";
+        }
+        return std::nullopt;
+      }));
+  sub.flags.push_back(cli::value_flag(
+      "--out", "FILE", "stream results to FILE as JSONL (summary report on stdout)",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        if (v.empty()) return "expected a file path";
+        o.out_path = v;
+        return std::nullopt;
+      }));
+  sub.flags.push_back(cli::value_flag(
+      "--shard", "I/N", "run shard I of N (contiguous grid slice; requires --out)",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        const auto parsed = core::ShardSpec::parse(v);
+        if (!parsed) return "expected I/N with 1 <= I <= N";
+        o.shard = *parsed;
+        o.shard_given = true;
+        return std::nullopt;
+      }));
+  sub.flags.push_back(cli::flag(
+      "--resume", "continue an interrupted --out run from its last complete line",
+      [&o] { o.resume = true; }));
+  sub.flags.push_back(cli::value_flag(
+      "--oracle-cache", "DIR", "persist/reuse solvability verdicts across processes",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        if (v.empty()) return "expected a directory path";
+        o.oracle_dir = v;
+        return std::nullopt;
+      }));
+  sub.flags.push_back(bounded_flag(
+      "--checkpoint-every", "N", "JSONL checkpoint period in cells (default: 64)", 1, 1'000'000,
+      [&o](std::uint64_t n) { o.checkpoint_every = n; }));
+  return sub;
+}
+
+int run_sweep_command(int argc, char** argv) {
+  SweepCli o;
+  o.grid.topologies = {net::TopologyKind::FullyConnected, net::TopologyKind::OneSided,
+                       net::TopologyKind::Bipartite};
+  o.grid.auths = {false, true};
+  o.grid.ks = {3};
+  o.grid.batteries = {core::Battery::Silent, core::Battery::Noise, core::Battery::Liars,
+                      core::Battery::AdaptiveCrash};
+
+  const cli::Subcommand sub = sweep_subcommand(o);
+  switch (cli::parse_flags(sub, argc, argv, 2, std::cerr)) {
+    case cli::ParseStatus::Help:
+      return 0;
+    case cli::ParseStatus::Error:
+      return 2;
+    case cli::ParseStatus::Ok:
+      break;
+  }
+  if (o.out_path.empty() && (o.shard_given || o.resume)) {
+    std::cerr << "sweep: --shard/--resume require --out FILE (try --help)\n";
+    return 2;
+  }
+
+  o.grid.seeds.clear();
+  for (std::uint64_t s = 1; s <= o.num_seeds; ++s) o.grid.seeds.push_back(s);
+  o.grid.scheds = core::schedule_axis(o.sched_base, o.sched_seeds);
+  const auto cells = o.grid.cells();
+
+  std::size_t oracle_loaded = 0;
+  if (!o.oracle_dir.empty()) {
+    oracle_loaded = core::load_oracle_cache(core::OracleCache::global(), o.oracle_dir);
+  }
+
+  if (!o.out_path.empty()) {
+    core::StreamOptions sopts;
+    sopts.shard = o.shard;
+    sopts.checkpoint_every = o.checkpoint_every;
+    sopts.sweep = o.opts;
+    const auto res = core::stream_sweep_file(cells, sopts, o.out_path, o.resume);
+    if (!res.error.empty()) {
+      std::cerr << "sweep: " << res.error << "\n";
+      return 2;
+    }
+    std::size_t oracle_saved = 0;
+    if (!o.oracle_dir.empty()) {
+      oracle_saved = core::save_oracle_cache(core::OracleCache::global(), o.oracle_dir);
+    }
+    const auto& st = res.stats;
+    const auto [begin, end] = o.shard.range(cells.size());
+    std::ostringstream hit_rate;
+    hit_rate << st.sweep.oracle.hit_rate();
+    std::cout << "{\n  " << core::envelope_json("sweep", o.opts.threads)
+              << ",\n  \"grid_digest\": \"" << to_hex(core::grid_digest(cells))
+              << "\", \"total_cells\": " << cells.size() << ", \"shard\": \"" << o.shard.str()
+              << "\", \"begin\": " << begin << ", \"end\": " << end << ",\n  \"out\": \""
+              << json_escape(o.out_path) << "\", \"resume\": " << (o.resume ? "true" : "false")
+              << ", \"resumed_complete\": " << (res.resumed_complete ? "true" : "false")
+              << ",\n  \"cells\": " << st.cells << ", \"ran\": " << st.ran
+              << ", \"emitted\": " << st.emitted << ", \"resumed\": " << st.resumed
+              << ",\n  \"oracle_loaded\": " << oracle_loaded
+              << ", \"oracle_saved\": " << oracle_saved
+              << ",\n  \"scheduler\": {\"threads\": " << st.sweep.threads
+              << ", \"chunks\": " << st.sweep.chunks << ", \"steals\": " << st.sweep.steals
+              << "},\n  \"oracle_cache\": {\"hits\": " << st.sweep.oracle.hits
+              << ", \"misses\": " << st.sweep.oracle.misses
+              << ", \"inserts\": " << st.sweep.oracle.inserts << ", \"hit_rate\": "
+              << hit_rate.str() << "},\n  \"all_properties_held\": "
+              << (st.all_ok ? "true" : "false") << "\n}\n";
+    return st.all_ok ? 0 : 1;
+  }
+
+  // Inline document (the historical sweep output; CI smoke parses it).
   core::SweepStats stats;
-  const auto results = core::run_sweep(grid.cells(), opts, &stats);
+  const auto results = core::run_sweep(cells, o.opts, &stats);
+  if (!o.oracle_dir.empty()) {
+    (void)core::save_oracle_cache(core::OracleCache::global(), o.oracle_dir);
+  }
 
   bool all_ok = true;
   std::size_t ran = 0;
-  std::cout << "{\n  \"cells\": [\n";
+  std::cout << "{\n  " << core::envelope_json("sweep", stats.threads) << ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& cell = results[i];
-    const auto& cfg = cell.scenario.config;
-    std::cout << "    {\"topology\": \"" << json_escape(net::to_string(cfg.topology))
-              << "\", \"auth\": " << (cfg.authenticated ? "true" : "false")
-              << ", \"k\": " << cfg.k << ", \"tl\": " << cfg.tl << ", \"tr\": " << cfg.tr
-              << ", \"input_seed\": " << cell.scenario.input_seed
-              << ", \"adversaries\": " << cell.scenario.adversaries.size()
-              << ", \"solvable\": " << (cell.solvable ? "true" : "false");
-    if (!cell.scenario.sched.is_synchronous()) {
-      const char* kind =
-          cell.scenario.sched.kind == sched::PolicyDesc::Kind::RandomDelay ? "delay" : "omit";
-      std::cout << ", \"sched\": \"" << kind << "\", \"sched_seed\": " << cell.scenario.sched.seed;
-    }
     if (cell.outcome.has_value()) {
       ++ran;
-      const auto& out = *cell.outcome;
-      all_ok &= out.report.all();
-      std::cout << ", \"protocol\": \"" << json_escape(out.spec.describe())
-                << "\", \"rounds\": " << out.rounds << ", \"messages\": " << out.traffic.messages
-                << ", \"bytes\": " << out.traffic.bytes << ", \"properties\": {\"termination\": "
-                << (out.report.termination ? "true" : "false")
-                << ", \"symmetry\": " << (out.report.symmetry ? "true" : "false")
-                << ", \"stability\": " << (out.report.stability ? "true" : "false")
-                << ", \"non_competition\": " << (out.report.non_competition ? "true" : "false")
-                << "}, \"all_properties\": " << (out.report.all() ? "true" : "false");
+      all_ok &= cell.outcome->report.all();
     }
-    std::cout << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    std::cout << "    {" << core::cell_json_fields(cell) << "}"
+              << (i + 1 < results.size() ? "," : "") << "\n";
   }
   std::ostringstream hit_rate;
   hit_rate << stats.oracle.hit_rate();
@@ -366,6 +441,74 @@ int run_sweep_command(int argc, char** argv) {
             << ", \"hit_rate\": " << hit_rate.str()
             << "},\n  \"all_properties_held\": " << (all_ok ? "true" : "false") << "\n}\n";
   return all_ok ? 0 : 1;
+}
+
+// ------------------------------------------------------------- merge mode
+
+int run_merge_command(int argc, char** argv) {
+  std::string out_path = "-";
+  std::vector<std::string> inputs;
+
+  cli::Subcommand sub;
+  sub.name = "merge";
+  sub.summary = "merge + validate sweep shard JSONL files into the 1/1 document";
+  sub.intro =
+      "concatenates complete `sweep --out` shard files (any order) into\n"
+      "the canonical single-process JSONL document, validating that they come\n"
+      "from one grid and one build and tile it exactly. The merged output is\n"
+      "byte-identical to a `sweep --out` run without --shard. Exit 0 on a\n"
+      "valid merge, 2 on any mismatch, gap, overlap, or incomplete shard";
+  sub.positional_name = "FILE.jsonl";
+  sub.positional_help = "shard documents produced by `sweep --out` (one per shard)";
+  sub.positional = [&inputs](const std::string& path) { inputs.push_back(path); };
+  sub.flags = {
+      cli::value_flag("--out", "PATH|-", "write the merged JSONL to PATH (default: stdout)",
+                      [&out_path](const std::string& v) -> std::optional<std::string> {
+                        if (v.empty()) return "expected a file path or -";
+                        out_path = v;
+                        return std::nullopt;
+                      }),
+  };
+  switch (cli::parse_flags(sub, argc, argv, 2, std::cerr)) {
+    case cli::ParseStatus::Help:
+      return 0;
+    case cli::ParseStatus::Error:
+      return 2;
+    case cli::ParseStatus::Ok:
+      break;
+  }
+  if (inputs.empty()) {
+    std::cerr << "merge: no shard files given (try --help)\n";
+    return 2;
+  }
+
+  std::vector<std::string> docs;
+  docs.reserve(inputs.size());
+  for (const auto& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "merge: cannot read " << path << "\n";
+      return 2;
+    }
+    docs.emplace_back(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  std::string error;
+  const auto merged = core::merge_jsonl(docs, &error);
+  if (!merged) {
+    std::cerr << "merge: " << error << "\n";
+    return 2;
+  }
+  if (out_path == "-") {
+    std::cout << *merged;
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "merge: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << *merged;
+  }
+  return 0;
 }
 
 // ----------------------------------------------------------- explore mode
@@ -407,127 +550,106 @@ int run_replay(core::ScenarioSpec scenario, Round horizon, const std::string& se
   return out.report.all() ? 0 : 1;
 }
 
-int run_explore_command(int argc, char** argv) {
+[[nodiscard]] std::string scenario_json(const core::ScenarioSpec& scenario, std::uint64_t seed,
+                                        core::Battery battery) {
+  std::ostringstream out;
+  out << "\"scenario\": {\"topology\": \"" << json_escape(net::to_string(scenario.config.topology))
+      << "\", \"auth\": " << (scenario.config.authenticated ? "true" : "false")
+      << ", \"k\": " << scenario.config.k << ", \"tl\": " << scenario.config.tl
+      << ", \"tr\": " << scenario.config.tr << ", \"seed\": " << seed << ", \"battery\": \""
+      << battery_name(battery) << "\", \"adversaries\": " << scenario.adversaries.size() << "}";
+  return out.str();
+}
+
+struct ExploreCli {
   core::ScenarioSpec scenario;
-  scenario.config = core::BsmConfig{net::TopologyKind::FullyConnected, true, 2, 1, 0};
   std::uint64_t seed = 1;
   core::Battery battery = core::Battery::Silent;
   sched::ExplorerOptions opts;
   std::optional<std::string> replay;
+};
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (arg == "--help") {
-      usage();
+[[nodiscard]] cli::Subcommand explore_subcommand(ExploreCli& o) {
+  cli::Subcommand sub;
+  sub.name = "explore";
+  sub.summary = "systematic delivery-schedule search, emit JSON on stdout";
+  sub.intro =
+      "bounded iterative-deepening search over per-round delivery\n"
+      "perturbations — drop/delay/reorder of channel-round groups — of one\n"
+      "scenario, pruned by per-round view-hash state digests; prints one JSON\n"
+      "document with schedules explored/pruned, violations, and a minimized\n"
+      "counterexample trace when one exists; exit 0 = every explored schedule\n"
+      "satisfied all four properties, 1 = violation found, 2 = usage error or\n"
+      "unsolvable setting";
+  add_scenario_flags(sub, o.scenario.config, o.seed, o.battery);
+  sub.flags.push_back(bounded_flag(
+      "--max-depth", "N", "max perturbation ops per schedule (default: 2)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.max_depth = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag(
+      "--max-delay", "N", "delay ops slip 1..N rounds (default: 1)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.max_delay = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag(
+      "--horizon", "N", "rounds to simulate, 0 = protocol deadline (default: 0)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.horizon = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(ops_flag(o.opts.allow_drop, o.opts.allow_delay, o.opts.allow_reorder));
+  sub.flags.push_back(cli::flag(
+      "--include-honest",
+      "also perturb honest-honest channels (beyond the\n"
+      "                        fault envelope; violations become expected)",
+      [&o] { o.opts.corrupt_adjacent_only = false; }));
+  sub.flags.push_back(bounded_flag(
+      "--max-schedules", "N", "cap on exploration runs (default: 4096)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.max_schedules = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag(
+      "--threads", "N", "per-wave fan-out, 0 = hardware (default: 0)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.threads = static_cast<unsigned>(n); }));
+  sub.flags.push_back(cli::value_flag(
+      "--replay", "TRACE",
+      "skip the search: replay one serialized schedule\n"
+      "                        trace and report its outcome",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        o.replay = v;
+        return std::nullopt;
+      }));
+  return sub;
+}
+
+int run_explore_command(int argc, char** argv) {
+  ExploreCli o;
+  o.scenario.config = core::BsmConfig{net::TopologyKind::FullyConnected, true, 2, 1, 0};
+
+  const cli::Subcommand sub = explore_subcommand(o);
+  switch (cli::parse_flags(sub, argc, argv, 2, std::cerr)) {
+    case cli::ParseStatus::Help:
       return 0;
-    }
-    if (arg == "--auth") {
-      scenario.config.authenticated = true;
-      continue;
-    }
-    if (arg == "--no-auth") {
-      scenario.config.authenticated = false;
-      continue;
-    }
-    if (arg == "--include-honest") {
-      opts.corrupt_adjacent_only = false;
-      continue;
-    }
-    if (arg != "--topology" && arg != "--k" && arg != "--tl" && arg != "--tr" &&
-        arg != "--seed" && arg != "--battery" && arg != "--max-depth" && arg != "--max-delay" &&
-        arg != "--horizon" && arg != "--ops" && arg != "--max-schedules" && arg != "--threads" &&
-        arg != "--replay") {
-      std::cerr << "unknown explore argument: " << arg << " (try --help)\n";
+    case cli::ParseStatus::Error:
       return 2;
-    }
-    const auto value = next();
-    if (!value) {
-      std::cerr << "missing value for " << arg << "\n";
-      return 2;
-    }
-    if (arg == "--topology") {
-      if (*value == "fully") {
-        scenario.config.topology = net::TopologyKind::FullyConnected;
-      } else if (*value == "one-sided") {
-        scenario.config.topology = net::TopologyKind::OneSided;
-      } else if (*value == "bipartite") {
-        scenario.config.topology = net::TopologyKind::Bipartite;
-      } else {
-        std::cerr << "unknown topology: " << *value << "\n";
-        return 2;
-      }
-    } else if (arg == "--battery") {
-      const auto parsed = parse_battery(*value);
-      if (!parsed) {
-        std::cerr << "unknown battery: " << *value << "\n";
-        return 2;
-      }
-      battery = *parsed;
-    } else if (arg == "--ops") {
-      opts.allow_drop = opts.allow_delay = opts.allow_reorder = false;
-      for (const auto& op : split_csv(*value)) {
-        if (op == "drop") {
-          opts.allow_drop = true;
-        } else if (op == "delay") {
-          opts.allow_delay = true;
-        } else if (op == "reorder") {
-          opts.allow_reorder = true;
-        } else {
-          std::cerr << "unknown --ops value: " << op << " (drop|delay|reorder)\n";
-          return 2;
-        }
-      }
-    } else if (arg == "--replay") {
-      replay = *value;
-    } else {
-      const auto parsed = parse_u64(*value);
-      if (!parsed || *parsed > 1'000'000) {
-        std::cerr << "bad " << arg << " value: " << *value << " (expected 0..1000000)\n";
-        return 2;
-      }
-      const auto v = static_cast<std::uint32_t>(*parsed);
-      if (arg == "--k") scenario.config.k = v;
-      if (arg == "--tl") scenario.config.tl = v;
-      if (arg == "--tr") scenario.config.tr = v;
-      if (arg == "--seed") seed = v;
-      if (arg == "--max-depth") opts.max_depth = v;
-      if (arg == "--max-delay") opts.max_delay = v;
-      if (arg == "--horizon") opts.horizon = v;
-      if (arg == "--max-schedules") opts.max_schedules = v;
-      if (arg == "--threads") opts.threads = static_cast<unsigned>(v);
-    }
+    case cli::ParseStatus::Ok:
+      break;
   }
 
-  if (!core::solvable(scenario.config)) {
-    std::cerr << "unsolvable setting: " << core::solvability_reason(scenario.config) << "\n";
+  if (!core::solvable(o.scenario.config)) {
+    std::cerr << "unsolvable setting: " << core::solvability_reason(o.scenario.config) << "\n";
     return 2;
   }
-  scenario.input_seed = seed;
-  scenario.pki_seed = seed + 1;
-  core::apply_battery(scenario, battery, seed);
+  o.scenario.input_seed = o.seed;
+  o.scenario.pki_seed = o.seed + 1;
+  core::apply_battery(o.scenario, o.battery, o.seed);
 
-  if (replay.has_value()) return run_replay(scenario, opts.horizon, *replay);
+  if (o.replay.has_value()) return run_replay(o.scenario, o.opts.horizon, *o.replay);
 
-  const auto report = sched::explore(scenario, opts);
+  const auto report = sched::explore(o.scenario, o.opts);
 
-  std::cout << "{\n  \"scenario\": {\"topology\": \""
-            << json_escape(net::to_string(scenario.config.topology))
-            << "\", \"auth\": " << (scenario.config.authenticated ? "true" : "false")
-            << ", \"k\": " << scenario.config.k << ", \"tl\": " << scenario.config.tl
-            << ", \"tr\": " << scenario.config.tr << ", \"seed\": " << seed << ", \"battery\": \""
-            << battery_name(battery) << "\", \"adversaries\": " << scenario.adversaries.size()
-            << "},\n";
-  std::cout << "  \"options\": {\"max_depth\": " << opts.max_depth
-            << ", \"max_delay\": " << opts.max_delay << ", \"horizon\": " << opts.horizon
-            << ", \"drop\": " << (opts.allow_drop ? "true" : "false")
-            << ", \"delay\": " << (opts.allow_delay ? "true" : "false")
-            << ", \"reorder\": " << (opts.allow_reorder ? "true" : "false")
-            << ", \"corrupt_adjacent_only\": " << (opts.corrupt_adjacent_only ? "true" : "false")
-            << ", \"max_schedules\": " << opts.max_schedules << "},\n";
+  std::cout << "{\n  " << core::envelope_json("explore", o.opts.threads) << ",\n  "
+            << scenario_json(o.scenario, o.seed, o.battery) << ",\n";
+  std::cout << "  \"options\": {\"max_depth\": " << o.opts.max_depth
+            << ", \"max_delay\": " << o.opts.max_delay << ", \"horizon\": " << o.opts.horizon
+            << ", \"drop\": " << (o.opts.allow_drop ? "true" : "false")
+            << ", \"delay\": " << (o.opts.allow_delay ? "true" : "false")
+            << ", \"reorder\": " << (o.opts.allow_reorder ? "true" : "false")
+            << ", \"corrupt_adjacent_only\": "
+            << (o.opts.corrupt_adjacent_only ? "true" : "false")
+            << ", \"max_schedules\": " << o.opts.max_schedules << "},\n";
   std::cout << "  \"schedules\": {\"explored\": " << report.explored
             << ", \"pruned\": " << report.pruned << ", \"violations\": " << report.violations
             << ", \"depth_reached\": " << report.depth_reached
@@ -548,138 +670,121 @@ int run_explore_command(int argc, char** argv) {
 
 // -------------------------------------------------------------- fuzz mode
 
-int run_fuzz_command(int argc, char** argv) {
+struct FuzzCli {
   core::ScenarioSpec scenario;
-  scenario.config = core::BsmConfig{net::TopologyKind::FullyConnected, true, 2, 1, 0};
   std::uint64_t seed = 1;
   core::Battery battery = core::Battery::Silent;
   sched::FuzzerOptions opts;
-  opts.allow_reorder = false;  // match explore's default op menu: drop,delay
   std::optional<std::string> replay;
+};
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (arg == "--help") {
-      usage();
+[[nodiscard]] cli::Subcommand fuzz_subcommand(FuzzCli& o) {
+  cli::Subcommand sub;
+  sub.name = "fuzz";
+  sub.summary = "coverage-guided schedule fuzzing, emit JSON on stdout";
+  sub.intro =
+      "coverage-guided greybox loop over the same schedule space as\n"
+      "explore: a corpus of interesting traces — ones that reached a new\n"
+      "per-round view-hash trail prefix — is mutated inside the fault envelope,\n"
+      "parents picked by coverage energy; prints one JSON document with\n"
+      "execs/corpus/coverage/violations and a 1-minimal counterexample trace\n"
+      "when one exists; same seed = bit-identical report at any thread count;\n"
+      "exit 0 = no violation found, 1 = violation found, 2 = usage error or\n"
+      "unsolvable setting";
+  add_scenario_flags(sub, o.scenario.config, o.seed, o.battery);
+  sub.flags.push_back(bounded_flag(
+      "--fuzz-seed", "S", "mutation/selection rng seed (default: 1)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.seed = n; }));
+  sub.flags.push_back(bounded_flag(
+      "--max-execs", "N", "total simulation budget (default: 2048)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.max_execs = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag(
+      "--batch", "N", "candidates per parallel wave (default: 32)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.batch = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag(
+      "--max-ops", "N", "op cap per mutated trace (default: 8)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.max_ops = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(ops_flag(o.opts.allow_drop, o.opts.allow_delay, o.opts.allow_reorder));
+  sub.flags.push_back(bounded_flag(
+      "--max-delay", "N", "delay ops slip 1..N rounds (default: 2)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.max_delay = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag(
+      "--omission-budget", "N", "max drops charged to one target (default: 4)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.omission_budget = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag(
+      "--horizon", "N", "rounds to simulate, 0 = protocol deadline (default: 0)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.horizon = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(cli::flag(
+      "--include-honest",
+      "also mutate honest-honest channels (beyond the\n"
+      "                        fault envelope; violations become expected)",
+      [&o] { o.opts.corrupt_adjacent_only = false; }));
+  sub.flags.push_back(cli::value_flag(
+      "--corpus", "DIR",
+      "load seed traces from DIR before fuzzing and\n"
+      "                        save the final corpus back (digest-keyed files)",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        o.opts.corpus_dir = v;
+        return std::nullopt;
+      }));
+  sub.flags.push_back(bounded_flag(
+      "--threads", "N", "per-wave fan-out, 0 = hardware (default: 0)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.opts.threads = static_cast<unsigned>(n); }));
+  sub.flags.push_back(cli::value_flag(
+      "--replay", "TRACE",
+      "skip the fuzzing: replay one serialized schedule\n"
+      "                        trace and report its outcome",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        o.replay = v;
+        return std::nullopt;
+      }));
+  return sub;
+}
+
+int run_fuzz_command(int argc, char** argv) {
+  FuzzCli o;
+  o.scenario.config = core::BsmConfig{net::TopologyKind::FullyConnected, true, 2, 1, 0};
+  o.opts.allow_reorder = false;  // match explore's default op menu: drop,delay
+
+  const cli::Subcommand sub = fuzz_subcommand(o);
+  switch (cli::parse_flags(sub, argc, argv, 2, std::cerr)) {
+    case cli::ParseStatus::Help:
       return 0;
-    }
-    if (arg == "--auth") {
-      scenario.config.authenticated = true;
-      continue;
-    }
-    if (arg == "--no-auth") {
-      scenario.config.authenticated = false;
-      continue;
-    }
-    if (arg == "--include-honest") {
-      opts.corrupt_adjacent_only = false;
-      continue;
-    }
-    if (arg != "--topology" && arg != "--k" && arg != "--tl" && arg != "--tr" &&
-        arg != "--seed" && arg != "--battery" && arg != "--fuzz-seed" && arg != "--max-execs" &&
-        arg != "--batch" && arg != "--max-ops" && arg != "--ops" && arg != "--max-delay" &&
-        arg != "--omission-budget" && arg != "--horizon" && arg != "--corpus" &&
-        arg != "--threads" && arg != "--replay") {
-      std::cerr << "unknown fuzz argument: " << arg << " (try --help)\n";
+    case cli::ParseStatus::Error:
       return 2;
-    }
-    const auto value = next();
-    if (!value) {
-      std::cerr << "missing value for " << arg << "\n";
-      return 2;
-    }
-    if (arg == "--topology") {
-      if (*value == "fully") {
-        scenario.config.topology = net::TopologyKind::FullyConnected;
-      } else if (*value == "one-sided") {
-        scenario.config.topology = net::TopologyKind::OneSided;
-      } else if (*value == "bipartite") {
-        scenario.config.topology = net::TopologyKind::Bipartite;
-      } else {
-        std::cerr << "unknown topology: " << *value << "\n";
-        return 2;
-      }
-    } else if (arg == "--battery") {
-      const auto parsed = parse_battery(*value);
-      if (!parsed) {
-        std::cerr << "unknown battery: " << *value << "\n";
-        return 2;
-      }
-      battery = *parsed;
-    } else if (arg == "--ops") {
-      opts.allow_drop = opts.allow_delay = opts.allow_reorder = false;
-      for (const auto& op : split_csv(*value)) {
-        if (op == "drop") {
-          opts.allow_drop = true;
-        } else if (op == "delay") {
-          opts.allow_delay = true;
-        } else if (op == "reorder") {
-          opts.allow_reorder = true;
-        } else {
-          std::cerr << "unknown --ops value: " << op << " (drop|delay|reorder)\n";
-          return 2;
-        }
-      }
-    } else if (arg == "--corpus") {
-      opts.corpus_dir = *value;
-    } else if (arg == "--replay") {
-      replay = *value;
-    } else {
-      const auto parsed = parse_u64(*value);
-      if (!parsed || *parsed > 1'000'000) {
-        std::cerr << "bad " << arg << " value: " << *value << " (expected 0..1000000)\n";
-        return 2;
-      }
-      const auto v = static_cast<std::uint32_t>(*parsed);
-      if (arg == "--k") scenario.config.k = v;
-      if (arg == "--tl") scenario.config.tl = v;
-      if (arg == "--tr") scenario.config.tr = v;
-      if (arg == "--seed") seed = v;
-      if (arg == "--fuzz-seed") opts.seed = v;
-      if (arg == "--max-execs") opts.max_execs = v;
-      if (arg == "--batch") opts.batch = v;
-      if (arg == "--max-ops") opts.max_ops = v;
-      if (arg == "--max-delay") opts.max_delay = v;
-      if (arg == "--omission-budget") opts.omission_budget = v;
-      if (arg == "--horizon") opts.horizon = v;
-      if (arg == "--threads") opts.threads = static_cast<unsigned>(v);
-    }
+    case cli::ParseStatus::Ok:
+      break;
   }
 
-  if (!core::solvable(scenario.config)) {
-    std::cerr << "unsolvable setting: " << core::solvability_reason(scenario.config) << "\n";
+  if (!core::solvable(o.scenario.config)) {
+    std::cerr << "unsolvable setting: " << core::solvability_reason(o.scenario.config) << "\n";
     return 2;
   }
-  scenario.input_seed = seed;
-  scenario.pki_seed = seed + 1;
-  core::apply_battery(scenario, battery, seed);
+  o.scenario.input_seed = o.seed;
+  o.scenario.pki_seed = o.seed + 1;
+  core::apply_battery(o.scenario, o.battery, o.seed);
 
-  if (replay.has_value()) return run_replay(scenario, opts.horizon, *replay);
+  if (o.replay.has_value()) return run_replay(o.scenario, o.opts.horizon, *o.replay);
 
-  sched::Fuzzer fuzzer(scenario, opts);
+  sched::Fuzzer fuzzer(o.scenario, o.opts);
   const auto report = fuzzer.run();
 
-  std::cout << "{\n  \"scenario\": {\"topology\": \""
-            << json_escape(net::to_string(scenario.config.topology))
-            << "\", \"auth\": " << (scenario.config.authenticated ? "true" : "false")
-            << ", \"k\": " << scenario.config.k << ", \"tl\": " << scenario.config.tl
-            << ", \"tr\": " << scenario.config.tr << ", \"seed\": " << seed << ", \"battery\": \""
-            << battery_name(battery) << "\", \"adversaries\": " << scenario.adversaries.size()
-            << "},\n";
-  std::cout << "  \"options\": {\"fuzz_seed\": " << opts.seed
-            << ", \"max_execs\": " << opts.max_execs << ", \"batch\": " << opts.batch
-            << ", \"max_ops\": " << opts.max_ops << ", \"max_delay\": " << opts.max_delay
-            << ", \"horizon\": " << opts.horizon
-            << ", \"drop\": " << (opts.allow_drop ? "true" : "false")
-            << ", \"delay\": " << (opts.allow_delay ? "true" : "false")
-            << ", \"reorder\": " << (opts.allow_reorder ? "true" : "false")
-            << ", \"omission_budget\": " << opts.omission_budget
-            << ", \"corrupt_adjacent_only\": " << (opts.corrupt_adjacent_only ? "true" : "false")
-            << ", \"corpus_dir\": \"" << json_escape(opts.corpus_dir) << "\"},\n";
+  // The fuzz envelope deliberately omits `threads`: the report is
+  // contractually bit-identical across thread counts (the same exception
+  // the JSONL header makes — see core/envelope.hpp).
+  std::cout << "{\n  " << core::envelope_json("fuzz", 0, /*include_threads=*/false) << ",\n  "
+            << scenario_json(o.scenario, o.seed, o.battery) << ",\n";
+  std::cout << "  \"options\": {\"fuzz_seed\": " << o.opts.seed
+            << ", \"max_execs\": " << o.opts.max_execs << ", \"batch\": " << o.opts.batch
+            << ", \"max_ops\": " << o.opts.max_ops << ", \"max_delay\": " << o.opts.max_delay
+            << ", \"horizon\": " << o.opts.horizon
+            << ", \"drop\": " << (o.opts.allow_drop ? "true" : "false")
+            << ", \"delay\": " << (o.opts.allow_delay ? "true" : "false")
+            << ", \"reorder\": " << (o.opts.allow_reorder ? "true" : "false")
+            << ", \"omission_budget\": " << o.opts.omission_budget
+            << ", \"corrupt_adjacent_only\": "
+            << (o.opts.corrupt_adjacent_only ? "true" : "false") << ", \"corpus_dir\": \""
+            << json_escape(o.opts.corpus_dir) << "\"},\n";
   std::cout << "  \"fuzz\": {\"execs\": " << report.execs
             << ", \"corpus_size\": " << report.corpus_size
             << ", \"corpus_loaded\": " << report.corpus_loaded
@@ -700,70 +805,54 @@ int run_fuzz_command(int argc, char** argv) {
   return report.all_satisfied() ? 0 : 1;
 }
 
-struct Options {
+// --------------------------------------------------------------- run mode
+
+struct RunCli {
   core::BsmConfig cfg{net::TopologyKind::FullyConnected, true, 4, 1, 1};
   std::uint64_t seed = 1;
   std::vector<std::string> adversaries;
   bool verbose = false;
-  bool help = false;
 };
 
-/// Parse run-mode flags starting at argv[first]. nullopt = usage error
-/// (exit 2); an Options with `help` set = --help was given (exit 0).
-[[nodiscard]] std::optional<Options> parse(int argc, char** argv, int first) {
-  Options opt;
-  for (int i = first; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (arg == "--help") {
-      usage();
-      opt.help = true;
-      return opt;
-    } else if (arg == "--topology") {
-      const auto v = next();
-      if (!v) return std::nullopt;
-      if (*v == "fully") {
-        opt.cfg.topology = net::TopologyKind::FullyConnected;
-      } else if (*v == "one-sided") {
-        opt.cfg.topology = net::TopologyKind::OneSided;
-      } else if (*v == "bipartite") {
-        opt.cfg.topology = net::TopologyKind::Bipartite;
-      } else {
-        std::cerr << "unknown topology: " << *v << "\n";
-        return std::nullopt;
-      }
-    } else if (arg == "--auth") {
-      opt.cfg.authenticated = true;
-    } else if (arg == "--no-auth") {
-      opt.cfg.authenticated = false;
-    } else if (arg == "--k" || arg == "--tl" || arg == "--tr" || arg == "--seed") {
-      const auto v = next();
-      if (!v) return std::nullopt;
-      const auto parsed = parse_u64(*v);
-      if (!parsed || *parsed > 1'000'000) {
-        std::cerr << "bad " << arg << " value: " << *v << " (expected 0..1000000)\n";
-        return std::nullopt;
-      }
-      const auto value = static_cast<std::uint32_t>(*parsed);
-      if (arg == "--k") opt.cfg.k = value;
-      if (arg == "--tl") opt.cfg.tl = value;
-      if (arg == "--tr") opt.cfg.tr = value;
-      if (arg == "--seed") opt.seed = value;
-    } else if (arg == "--adversary") {
-      const auto v = next();
-      if (!v) return std::nullopt;
-      opt.adversaries.push_back(*v);
-    } else if (arg == "--verbose") {
-      opt.verbose = true;
-    } else {
-      std::cerr << "unknown argument: " << arg << " (try --help)\n";
-      return std::nullopt;
-    }
-  }
-  return opt;
+[[nodiscard]] cli::Subcommand run_subcommand(RunCli& o) {
+  cli::Subcommand sub;
+  sub.name = "run";
+  sub.summary = "run one scenario, print the outcome table";
+  sub.intro =
+      "exit 0 = all four bSM properties held, 1 = violation,\n"
+      "2 = unsolvable setting or usage error";
+  sub.flags = {
+      cli::value_flag("--topology", "KIND", "network topology: fully|one-sided|bipartite "
+                      "(default: fully)",
+                      [&o](const std::string& v) -> std::optional<std::string> {
+                        const auto parsed = parse_topology(v);
+                        if (!parsed) return "expected fully|one-sided|bipartite";
+                        o.cfg.topology = *parsed;
+                        return std::nullopt;
+                      }),
+      cli::flag("--auth", "PKI available (default)", [&o] { o.cfg.authenticated = true; }),
+      cli::flag("--no-auth", "no PKI", [&o] { o.cfg.authenticated = false; }),
+      bounded_flag("--k", "N", "parties per side (default: 4)", 0, 1'000'000,
+                   [&o](std::uint64_t n) { o.cfg.k = static_cast<std::uint32_t>(n); }),
+      bounded_flag("--tl", "N", "corruption budget within L (default: 1)", 0, 1'000'000,
+                   [&o](std::uint64_t n) { o.cfg.tl = static_cast<std::uint32_t>(n); }),
+      bounded_flag("--tr", "N", "corruption budget within R (default: 1)", 0, 1'000'000,
+                   [&o](std::uint64_t n) { o.cfg.tr = static_cast<std::uint32_t>(n); }),
+      bounded_flag("--seed", "S", "workload seed (default: 1)", 0, 1'000'000,
+                   [&o](std::uint64_t n) { o.seed = n; }),
+      cli::value_flag("--adversary", "KIND",
+                      "add one corrupted party: silent|noise|liar|split|crash",
+                      [&o](const std::string& v) -> std::optional<std::string> {
+                        if (v != "silent" && v != "noise" && v != "liar" && v != "split" &&
+                            v != "crash") {
+                          return "expected silent|noise|liar|split|crash";
+                        }
+                        o.adversaries.push_back(v);
+                        return std::nullopt;
+                      }),
+      cli::flag("--verbose", "print preference lists too", [&o] { o.verbose = true; }),
+  };
+  return sub;
 }
 
 [[nodiscard]] std::unique_ptr<net::Process> make_adversary(const std::string& kind,
@@ -790,26 +879,17 @@ struct Options {
   return nullptr;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  int first = 1;
-  if (argc > 1) {
-    const std::string sub = argv[1];
-    if (sub == "sweep") return run_sweep_command(argc, argv);
-    if (sub == "explore") return run_explore_command(argc, argv);
-    if (sub == "fuzz") return run_fuzz_command(argc, argv);
-    if (sub == "bench") {
-      // The registered suite = every case group the bench/ binaries run.
-      benchcases::register_all();
-      return core::bench_main(argc - 1, argv + 1, {.default_json = "-"});
-    }
-    if (sub == "run") first = 2;  // explicit alias for the default mode
+int run_run_command(int argc, char** argv, int first) {
+  RunCli opt;
+  const cli::Subcommand sub = run_subcommand(opt);
+  switch (cli::parse_flags(sub, argc, argv, first, std::cerr)) {
+    case cli::ParseStatus::Help:
+      return 0;
+    case cli::ParseStatus::Error:
+      return 2;
+    case cli::ParseStatus::Ok:
+      break;
   }
-  const auto parsed = parse(argc, argv, first);
-  if (!parsed) return 2;
-  if (parsed->help) return 0;
-  const Options& opt = *parsed;
 
   std::cout << "Setting:   " << opt.cfg.describe() << "\n";
   std::cout << "Verdict:   " << core::solvability_reason(opt.cfg) << "\n";
@@ -872,4 +952,60 @@ int main(int argc, char** argv) {
             << " non-competition=" << out.report.non_competition << "\n";
   for (const auto& v : out.report.violations) std::cout << "  violation: " << v << "\n";
   return out.report.all() ? 0 : 1;
+}
+
+void print_top_help() {
+  RunCli run_state;
+  SweepCli sweep_state;
+  std::string merge_out;
+  std::vector<std::string> merge_inputs;
+  ExploreCli explore_state;
+  FuzzCli fuzz_state;
+  core::BenchCliState bench_state;
+
+  const auto run_sub = run_subcommand(run_state);
+  const auto sweep_sub = sweep_subcommand(sweep_state);
+  cli::Subcommand merge_sub;
+  {
+    // Rebuild merge's identity rows (run_merge_command owns the live
+    // table; only name/summary/intro/flags matter for help).
+    merge_sub.name = "merge";
+    merge_sub.summary = "merge + validate sweep shard JSONL files into the 1/1 document";
+    merge_sub.positional_name = "FILE.jsonl";
+    merge_sub.positional_help = "shard documents produced by `sweep --out` (one per shard)";
+    merge_sub.flags = {cli::value_flag(
+        "--out", "PATH|-", "write the merged JSONL to PATH (default: stdout)",
+        [](const std::string&) -> std::optional<std::string> { return std::nullopt; })};
+  }
+  const auto explore_sub = explore_subcommand(explore_state);
+  const auto fuzz_sub = fuzz_subcommand(fuzz_state);
+  const auto bench_sub = core::bench_subcommand(bench_state);
+
+  std::cout << cli::render_help(
+      "bsm_cli", "byzantine stable matching toolkit",
+      {&run_sub, &sweep_sub, &merge_sub, &explore_sub, &fuzz_sub, &bench_sub});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int first = 1;
+  if (argc > 1) {
+    const std::string sub = argv[1];
+    if (sub == "--help") {
+      print_top_help();
+      return 0;
+    }
+    if (sub == "sweep") return run_sweep_command(argc, argv);
+    if (sub == "merge") return run_merge_command(argc, argv);
+    if (sub == "explore") return run_explore_command(argc, argv);
+    if (sub == "fuzz") return run_fuzz_command(argc, argv);
+    if (sub == "bench") {
+      // The registered suite = every case group the bench/ binaries run.
+      benchcases::register_all();
+      return core::bench_main(argc - 1, argv + 1, {.default_json = "-"});
+    }
+    if (sub == "run") first = 2;  // explicit alias for the default mode
+  }
+  return run_run_command(argc, argv, first);
 }

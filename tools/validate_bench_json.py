@@ -1,169 +1,19 @@
 #!/usr/bin/env python3
 """Validate a BENCH_results.json file against the schema in docs/BENCHMARKS.md.
 
-Usage: validate_bench_json.py PATH [--require-ok] [--require-cases N]
+Compatibility shim: the validator now lives in validate_json.py, which
+handles every report schema behind the shared v2 envelope. This entry
+point pins --schema bench and forwards everything else unchanged.
 
-Exits 0 when the document is schema-valid (and, with --require-ok, when the
-run's overall verdict is ok; with --require-cases, when at least N cases are
-present). Prints every violation found, not just the first.
+Usage: validate_bench_json.py PATH [--require-ok] [--require-cases N]
 """
-import json
-import re
 import sys
 
-SCHEMA_VERSION = 1
-
-TOP_FIELDS = {
-    "schema_version": int,
-    "tool": str,
-    "git_sha": str,
-    "threads": int,
-    "total_cases": int,
-    "all_ok": bool,
-    "all_deterministic": bool,
-    "cases": list,
-    "ok": bool,
-}
-
-CASE_FIELDS = {
-    "name": str,
-    "repeats": int,
-    "warmup": int,
-    "wall_ms": list,
-    "min_ms": (int, float),
-    "median_ms": (int, float),
-    "mean_ms": (int, float),
-    "cells": int,
-    "cells_per_sec": (int, float),
-    "rounds": int,
-    "messages": int,
-    "bytes": int,
-    "digest": str,
-    "deterministic": bool,
-    "ok": bool,
-}
-
-DIGEST_RE = re.compile(r"^[0-9a-f]{16}$")
-
-
-def check_fields(obj, fields, where, errors):
-    for key, types in fields.items():
-        if key not in obj:
-            errors.append(f"{where}: missing field '{key}'")
-            continue
-        # bool is an int subclass in Python; require exact bools where asked.
-        value = obj[key]
-        if types is int and isinstance(value, bool):
-            errors.append(f"{where}: field '{key}' must be an integer, got bool")
-        elif types is bool:
-            if not isinstance(value, bool):
-                errors.append(f"{where}: field '{key}' must be a bool")
-        elif not isinstance(value, types):
-            errors.append(f"{where}: field '{key}' has wrong type {type(value).__name__}")
-    for key in obj:
-        if key not in fields:
-            errors.append(f"{where}: unknown field '{key}' (schema v{SCHEMA_VERSION})")
-
-
-def validate(doc):
-    errors = []
-    if not isinstance(doc, dict):
-        return ["top level: expected a JSON object"]
-    check_fields(doc, TOP_FIELDS, "top level", errors)
-
-    if doc.get("schema_version") != SCHEMA_VERSION:
-        errors.append(f"top level: schema_version {doc.get('schema_version')!r}, "
-                      f"expected {SCHEMA_VERSION}")
-    if doc.get("tool") != "bsm-bench":
-        errors.append(f"top level: tool {doc.get('tool')!r}, expected 'bsm-bench'")
-    if isinstance(doc.get("threads"), int) and doc["threads"] < 1:
-        errors.append("top level: threads must be >= 1 (the report records the "
-                      "resolved count, never 0)")
-
-    cases = doc.get("cases", [])
-    if isinstance(doc.get("total_cases"), int) and doc["total_cases"] != len(cases):
-        errors.append(f"top level: total_cases {doc['total_cases']} != len(cases) {len(cases)}")
-
-    seen = set()
-    for i, case in enumerate(cases):
-        where = f"cases[{i}]"
-        if not isinstance(case, dict):
-            errors.append(f"{where}: expected an object")
-            continue
-        check_fields(case, CASE_FIELDS, where, errors)
-        name = case.get("name", "")
-        if isinstance(name, str):
-            where = f"cases[{i}] ({name})"
-            if "/" not in name:
-                errors.append(f"{where}: name must be 'group/case'")
-            if name in seen:
-                errors.append(f"{where}: duplicate case name")
-            seen.add(name)
-        if isinstance(case.get("digest"), str) and not DIGEST_RE.match(case["digest"]):
-            errors.append(f"{where}: digest must be 16 lowercase hex digits")
-        wall = case.get("wall_ms", [])
-        if isinstance(wall, list):
-            if not all(isinstance(x, (int, float)) and not isinstance(x, bool) for x in wall):
-                errors.append(f"{where}: wall_ms must contain only numbers")
-            elif isinstance(case.get("repeats"), int) and len(wall) != case["repeats"]:
-                errors.append(f"{where}: len(wall_ms) {len(wall)} != repeats {case['repeats']}")
-            elif wall:
-                lo, hi = min(wall), max(wall)
-                for key, bound in (("min_ms", lo), ("median_ms", None), ("mean_ms", None)):
-                    v = case.get(key)
-                    if isinstance(v, (int, float)) and not lo - 1e-9 <= v <= hi + 1e-9:
-                        errors.append(f"{where}: {key} {v} outside wall_ms range [{lo}, {hi}]")
-
-    expected_ok = doc.get("all_ok") and doc.get("all_deterministic")
-    if isinstance(doc.get("ok"), bool) and doc["ok"] != bool(expected_ok):
-        errors.append("top level: ok must equal all_ok && all_deterministic")
-    return errors
+import validate_json
 
 
 def main(argv):
-    require_ok = False
-    require_cases = 0
-    args = []
-    it = iter(argv[1:])
-    for a in it:
-        if a == "--require-ok":
-            require_ok = True
-        elif a == "--require-cases":
-            try:
-                require_cases = int(next(it))
-            except (StopIteration, ValueError):
-                print("--require-cases needs an integer", file=sys.stderr)
-                return 2
-        elif a.startswith("--"):
-            print(f"unknown flag: {a}", file=sys.stderr)
-            return 2
-        else:
-            args.append(a)
-    if len(args) != 1:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-
-    try:
-        with open(args[0], encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"FAIL: {args[0]}: {e}", file=sys.stderr)
-        return 1
-
-    errors = validate(doc)
-    if require_ok and not doc.get("ok"):
-        errors.append("run verdict: ok is false (--require-ok)")
-    if require_cases and len(doc.get("cases", [])) < require_cases:
-        errors.append(f"run verdict: only {len(doc.get('cases', []))} cases, "
-                      f"need >= {require_cases} (--require-cases)")
-
-    for e in errors:
-        print(f"FAIL: {e}", file=sys.stderr)
-    if errors:
-        return 1
-    print(f"OK: {args[0]}: schema v{SCHEMA_VERSION}, {len(doc.get('cases', []))} case(s), "
-          f"git {doc.get('git_sha')}, ok={doc.get('ok')}")
-    return 0
+    return validate_json.main([argv[0], "--schema", "bench"] + argv[1:])
 
 
 if __name__ == "__main__":

@@ -1,244 +1,21 @@
 #!/usr/bin/env python3
 """Validate a `bsm_cli explore` or `bsm_cli fuzz` JSON document.
 
+Compatibility shim: the validator now lives in validate_json.py, which
+handles every report schema behind the shared v2 envelope. This entry
+point forwards unchanged — its --schema explore|fuzz|auto values are a
+subset of the unified validator's.
+
 Usage: validate_sched_json.py PATH [--schema explore|fuzz|auto]
                                    [--require-no-violations] [--min-execs N]
-
-Both schedule-search subcommands share the scenario/all_satisfied/
-counterexample shape (documented in docs/BENCHMARKS.md); they differ in
-the middle block (`schedules` for explore, `fuzz` for fuzz) and in the
-options they echo back. --schema auto (the default) dispatches on which
-block is present.
-
-Exits 0 when the document is schema-valid and every requested predicate
-holds: --require-no-violations asserts the search found zero property
-violations (CI's in-envelope smoke), --min-execs N asserts the fuzz loop
-actually spent its budget (guards against a silently truncated run).
-Prints every violation found, not just the first.
 """
-import json
 import sys
 
-SCENARIO_FIELDS = {
-    "topology": str,
-    "auth": bool,
-    "k": int,
-    "tl": int,
-    "tr": int,
-    "seed": int,
-    "battery": str,
-    "adversaries": int,
-}
-
-EXPLORE_OPTIONS_FIELDS = {
-    "max_depth": int,
-    "max_delay": int,
-    "horizon": int,
-    "drop": bool,
-    "delay": bool,
-    "reorder": bool,
-    "corrupt_adjacent_only": bool,
-    "max_schedules": int,
-}
-
-FUZZ_OPTIONS_FIELDS = {
-    "fuzz_seed": int,
-    "max_execs": int,
-    "batch": int,
-    "max_ops": int,
-    "max_delay": int,
-    "horizon": int,
-    "drop": bool,
-    "delay": bool,
-    "reorder": bool,
-    "omission_budget": int,
-    "corrupt_adjacent_only": bool,
-    "corpus_dir": str,
-}
-
-SCHEDULES_FIELDS = {
-    "explored": int,
-    "pruned": int,
-    "violations": int,
-    "depth_reached": int,
-    "truncated": bool,
-}
-
-FUZZ_FIELDS = {
-    "execs": int,
-    "corpus_size": int,
-    "corpus_loaded": int,
-    "corpus_saved": int,
-    "coverage": int,
-    "interesting": int,
-    "violations": int,
-}
-
-COUNTEREXAMPLE_FIELDS = {
-    "trace": str,
-    "ops": int,
-    "shrink_runs": int,
-    "views": list,
-}
-
-
-def check_fields(obj, fields, where, errors):
-    if not isinstance(obj, dict):
-        errors.append(f"{where}: expected an object")
-        return
-    for key, types in fields.items():
-        if key not in obj:
-            errors.append(f"{where}: missing field '{key}'")
-            continue
-        value = obj[key]
-        if types is int and isinstance(value, bool):
-            errors.append(f"{where}: field '{key}' must be an integer, got bool")
-        elif types is bool and not isinstance(value, bool):
-            errors.append(f"{where}: field '{key}' must be a bool")
-        elif not isinstance(value, types):
-            errors.append(f"{where}: field '{key}' has wrong type {type(value).__name__}")
-    for key in obj:
-        if key not in fields:
-            errors.append(f"{where}: unknown field '{key}'")
-
-
-def detect_schema(doc):
-    if isinstance(doc, dict) and "fuzz" in doc:
-        return "fuzz"
-    return "explore"
-
-
-def counters_block(doc, schema):
-    """The per-schema counters object ('schedules' or 'fuzz')."""
-    block = doc.get("fuzz" if schema == "fuzz" else "schedules", {})
-    return block if isinstance(block, dict) else {}
-
-
-def validate(doc, schema):
-    errors = []
-    if not isinstance(doc, dict):
-        return ["top level: expected a JSON object"]
-
-    counters_key = "fuzz" if schema == "fuzz" else "schedules"
-    top = ("scenario", "options", counters_key, "all_satisfied", "counterexample")
-    for key in top:
-        if key not in doc:
-            errors.append(f"top level: missing field '{key}'")
-    for key in doc:
-        if key not in top:
-            errors.append(f"top level: unknown field '{key}'")
-
-    check_fields(doc.get("scenario", {}), SCENARIO_FIELDS, "scenario", errors)
-    if schema == "fuzz":
-        check_fields(doc.get("options", {}), FUZZ_OPTIONS_FIELDS, "options", errors)
-        check_fields(doc.get("fuzz", {}), FUZZ_FIELDS, "fuzz", errors)
-    else:
-        check_fields(doc.get("options", {}), EXPLORE_OPTIONS_FIELDS, "options", errors)
-        check_fields(doc.get("schedules", {}), SCHEDULES_FIELDS, "schedules", errors)
-
-    if not isinstance(doc.get("all_satisfied"), bool):
-        errors.append("top level: all_satisfied must be a bool")
-
-    counters = counters_block(doc, schema)
-    ran = counters.get("execs" if schema == "fuzz" else "explored")
-    if isinstance(ran, int) and ran < 1:
-        errors.append(f"{counters_key}: the unperturbed schedule always runs, "
-                      "so the run counter must be >= 1")
-    violations = counters.get("violations")
-    if isinstance(violations, int) and isinstance(doc.get("all_satisfied"), bool):
-        if doc["all_satisfied"] != (violations == 0):
-            errors.append("top level: all_satisfied must equal (violations == 0)")
-    if schema == "fuzz":
-        size = counters.get("corpus_size")
-        coverage = counters.get("coverage")
-        if isinstance(size, int) and isinstance(coverage, int) and 0 < coverage < size:
-            errors.append("fuzz: every corpus entry holds at least one coverage "
-                          "point, so coverage must be >= corpus_size")
-
-    counterexample = doc.get("counterexample")
-    if counterexample is not None:
-        check_fields(counterexample, COUNTEREXAMPLE_FIELDS, "counterexample", errors)
-        if isinstance(counterexample, dict):
-            views = counterexample.get("views", [])
-            if isinstance(views, list) and not all(
-                    isinstance(v, int) and not isinstance(v, bool) for v in views):
-                errors.append("counterexample: views must contain only integers")
-            trace = counterexample.get("trace")
-            ops = counterexample.get("ops")
-            if isinstance(trace, str) and isinstance(ops, int):
-                op_count = 0 if trace == "" else trace.count(";") + 1
-                if op_count != ops:
-                    errors.append(f"counterexample: ops {ops} != trace op count {op_count}")
-    if isinstance(doc.get("all_satisfied"), bool) and doc["all_satisfied"] \
-            and counterexample is not None:
-        errors.append("top level: a satisfied search must not carry a counterexample")
-    return errors
+import validate_json
 
 
 def main(argv):
-    require_clean = False
-    min_execs = None
-    schema = "auto"
-    args = []
-    it = iter(argv[1:])
-    for a in it:
-        if a == "--require-no-violations":
-            require_clean = True
-        elif a == "--min-execs":
-            value = next(it, None)
-            if value is None or not value.isdigit():
-                print("--min-execs needs an integer value", file=sys.stderr)
-                return 2
-            min_execs = int(value)
-        elif a == "--schema":
-            value = next(it, None)
-            if value not in ("explore", "fuzz", "auto"):
-                print("--schema must be explore, fuzz, or auto", file=sys.stderr)
-                return 2
-            schema = value
-        elif a.startswith("--"):
-            print(f"unknown flag: {a}", file=sys.stderr)
-            return 2
-        else:
-            args.append(a)
-    if len(args) != 1:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-
-    try:
-        with open(args[0], encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"FAIL: {args[0]}: {e}", file=sys.stderr)
-        return 1
-
-    if schema == "auto":
-        schema = detect_schema(doc)
-
-    errors = validate(doc, schema)
-    counters = counters_block(doc, schema)
-    if require_clean and counters.get("violations") != 0:
-        errors.append("run verdict: violations != 0 (--require-no-violations)")
-    if min_execs is not None:
-        ran = counters.get("execs" if schema == "fuzz" else "explored")
-        if not isinstance(ran, int) or ran < min_execs:
-            errors.append(f"run verdict: ran {ran} schedule(s), "
-                          f"need >= {min_execs} (--min-execs)")
-
-    for e in errors:
-        print(f"FAIL: {e}", file=sys.stderr)
-    if errors:
-        return 1
-    if schema == "fuzz":
-        print(f"OK: {args[0]} [fuzz]: {counters.get('execs')} exec(s), "
-              f"corpus {counters.get('corpus_size')}, coverage {counters.get('coverage')}, "
-              f"{counters.get('violations')} violation(s), "
-              f"all_satisfied={doc.get('all_satisfied')}")
-    else:
-        print(f"OK: {args[0]} [explore]: {counters.get('explored')} schedule(s) explored, "
-              f"{counters.get('pruned')} pruned, {counters.get('violations')} violation(s), "
-              f"all_satisfied={doc.get('all_satisfied')}")
-    return 0
+    return validate_json.main(argv)
 
 
 if __name__ == "__main__":
