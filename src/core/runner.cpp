@@ -57,20 +57,71 @@ RunOutcome collect_outcome(const AssembledRun& run) {
   out.traffic = engine.stats();
   out.decisions.resize(cfg.n());
   out.view_hashes.resize(cfg.n());
+  bool all_decided = true;
   for (PartyId id = 0; id < cfg.n(); ++id) {
     out.view_hashes[id] = engine.view_hash(id);
     if (out.corrupt[id]) continue;
     const auto& process = dynamic_cast<const BsmProcess&>(engine.process(id));
-    if (process.decided()) out.decisions[id] = process.decision();
+    if (process.decided()) {
+      out.decisions[id] = process.decision();
+    } else {
+      all_decided = false;
+    }
   }
+  out.terminated = all_decided;
+  // Snapshot liveness measure: the engine rounds consumed so far. run_bsm()
+  // overwrites this with the exact first-all-decided watermark.
+  out.rounds_to_termination = all_decided ? engine.engine_rounds() : 0;
   out.report = check_bsm(cfg.k, out.corrupt, run.inputs, out.decisions);
   return out;
 }
 
+namespace {
+
+[[nodiscard]] bool all_honest_decided(const AssembledRun& run) {
+  for (PartyId id = 0; id < run.config.n(); ++id) {
+    if (run.engine.is_corrupt(id)) continue;
+    if (!dynamic_cast<const BsmProcess&>(run.engine.process(id)).decided()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 RunOutcome run_bsm(RunSpec spec) {
+  const Round max_rounds = spec.max_rounds;
   AssembledRun run = assemble_run(std::move(spec));
-  run.engine.run(run.rounds);
-  return collect_outcome(run);
+  const net::DeliveryPolicy* policy = run.engine.delivery_policy();
+  const Round budget = policy != nullptr ? policy->stall_budget() : 0;
+  const Round cap = max_rounds != 0
+                        ? max_rounds
+                        : (run.rounds > UINT32_MAX - budget ? UINT32_MAX : run.rounds + budget);
+
+  // Step to the deadline one protocol round at a time under the engine-
+  // round guard, watching for the first boundary where every honest party
+  // has decided — the run's rounds_to_termination watermark.
+  bool decided_seen = false;
+  Round decided_at = 0;
+  bool limit_hit = false;
+  for (Round done = 0; done < run.rounds;) {
+    const auto prog = run.engine.run_guarded(1, cap);
+    if (prog.limit_hit) {
+      limit_hit = true;
+      break;
+    }
+    done += prog.protocol_rounds;
+    if (!decided_seen && all_honest_decided(run)) {
+      decided_seen = true;
+      decided_at = run.engine.engine_rounds();
+    }
+  }
+
+  RunOutcome out = collect_outcome(run);
+  out.rounds_to_termination = decided_seen ? decided_at : 0;
+  // A guard cutoff after every honest party decided merely truncated the
+  // post-deadline slack; only an undecided cutoff is a liveness verdict.
+  out.round_limit_hit = limit_hit && !out.terminated;
+  return out;
 }
 
 }  // namespace bsm::core

@@ -48,6 +48,14 @@ struct RunSpec {
   /// Dense (the historical default) keeps TrafficStats byte-identical;
   /// Sparse is the big-n mode that avoids the O(n^2) channel matrices.
   net::StatsMode stats_mode = net::StatsMode::Dense;
+
+  /// Hard engine-round guard for run_bsm(): a schedule that stalls the
+  /// engine past this many engine rounds is cut off and reported as
+  /// round_limit_hit instead of hanging. 0 (the default) resolves to the
+  /// protocol deadline plus the installed policy's stall_budget() — a cap
+  /// no well-formed schedule can hit, so synchronous and bounded-
+  /// perturbation runs behave exactly as before.
+  Round max_rounds = 0;
 };
 
 struct RunOutcome {
@@ -58,6 +66,17 @@ struct RunOutcome {
   Round rounds = 0;
   std::vector<std::uint64_t> view_hashes;
   ProtocolSpec spec;
+
+  /// Round-complexity verdict. `terminated` = every honest party decided;
+  /// `rounds_to_termination` = engine rounds (protocol rounds + stalled
+  /// rounds) consumed up to the first round boundary where they all had —
+  /// the partial-synchrony liveness measure the GST batteries bound by
+  /// deadline + gst. `round_limit_hit` = the run was cut off by the
+  /// max_rounds guard (which forces terminated == false: someone was
+  /// still undecided when the guard fired).
+  bool terminated = false;
+  Round rounds_to_termination = 0;
+  bool round_limit_hit = false;
 
   /// Byte-for-byte run equality — the sweep layer's serial-vs-parallel
   /// determinism guarantee is asserted with this.

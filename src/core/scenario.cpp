@@ -1,5 +1,6 @@
 #include "core/scenario.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "adversary/shims.hpp"
@@ -156,6 +157,7 @@ RunSpec to_run_spec(const ScenarioSpec& scenario, SweepArena* arena,
   spec.pki_seed = scenario.pki_seed;
   spec.extra_rounds = scenario.extra_rounds;
   spec.stats_mode = scenario.stats_mode;
+  spec.max_rounds = scenario.max_rounds;
   spec.forced_spec = scenario.forced_spec;
   spec.resolved_spec = resolved;
 
@@ -179,6 +181,23 @@ std::vector<sched::PolicyDesc> schedule_axis(const sched::PolicyDesc& base, std:
     sched::PolicyDesc desc = base;
     desc.seed = base.seed + i;
     out.push_back(std::move(desc));
+  }
+  return out;
+}
+
+std::vector<sched::PolicyDesc> gst_axis(const sched::PolicyDesc& base,
+                                        const std::vector<Round>& gsts,
+                                        std::uint64_t seeds_per_gst) {
+  std::vector<sched::PolicyDesc> out;
+  out.reserve(gsts.size() * std::max<std::uint64_t>(seeds_per_gst, 1));
+  for (const Round gst : gsts) {
+    for (std::uint64_t i = 0; i < std::max<std::uint64_t>(seeds_per_gst, 1); ++i) {
+      sched::PolicyDesc desc = base;
+      desc.kind = sched::PolicyDesc::Kind::EventualSynchrony;
+      desc.gst = gst;
+      desc.seed = base.seed + i;
+      out.push_back(std::move(desc));
+    }
   }
   return out;
 }
@@ -213,6 +232,7 @@ std::vector<ScenarioSpec> SweepGrid::cells() const {
                       seed * 101 + static_cast<std::uint64_t>(battery) + tl * 31 + tr * 7 + k;
                   cell.pki_seed = seed + tl + tr;
                   cell.extra_rounds = extra_rounds;
+                  cell.max_rounds = max_rounds;
                   cell.sched = sched_desc;
                   apply_battery(cell, battery, seed * 13 + tl * 11 + tr);
                   out.push_back(std::move(cell));

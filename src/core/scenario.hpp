@@ -86,6 +86,11 @@ struct ScenarioSpec {
   /// Dense keeps the historical byte-identical TrafficStats; Sparse is the
   /// big-n mode whose channel memory scales with active channels.
   net::StatsMode stats_mode = net::StatsMode::Dense;
+
+  /// Engine-round guard (copied into RunSpec::max_rounds): 0 resolves to
+  /// the protocol deadline plus the schedule's stall budget; a smaller
+  /// explicit cap turns a starved run into a round_limit_hit outcome.
+  Round max_rounds = 0;
 };
 
 /// Corrupt the full per-side budget of `spec.config` with `battery`;
@@ -143,6 +148,10 @@ struct SweepGrid {
   std::vector<Battery> batteries{Battery::Silent};
   Round extra_rounds = 2;
 
+  /// Copied into every cell's ScenarioSpec::max_rounds (0 = the resolved
+  /// deadline + stall-budget default).
+  Round max_rounds = 0;
+
   /// Delivery-schedule axis: each cell is repeated once per desc, so a
   /// grid fans out (setting x schedule) — e.g. schedule_axis(...) builds
   /// the (schedule-seed) spread for RandomDelay. The default single
@@ -161,5 +170,13 @@ struct SweepGrid {
 /// returned.
 [[nodiscard]] std::vector<sched::PolicyDesc> schedule_axis(const sched::PolicyDesc& base,
                                                            std::uint64_t count);
+
+/// The partial-synchrony (gst x gst-seed) spread for a SweepGrid: one
+/// EventualSynchrony desc per (gst, seed) pair — gst outermost, seeds
+/// base.seed .. base.seed + seeds_per_gst - 1 within each gst. Every
+/// other knob (scope, max_delay) is copied from `base`.
+[[nodiscard]] std::vector<sched::PolicyDesc> gst_axis(const sched::PolicyDesc& base,
+                                                      const std::vector<Round>& gsts,
+                                                      std::uint64_t seeds_per_gst);
 
 }  // namespace bsm::core

@@ -1,10 +1,12 @@
 #include "core/shard.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <thread>
 
 #include "common/codec.hpp"
 #include "common/hash.hpp"
@@ -277,7 +279,17 @@ std::uint64_t scenario_digest(const ScenarioSpec& scenario) {
   w.u32(scenario.sched.delay_permille);
   w.u32(scenario.sched.omission_budget);
   w.u64(scenario.sched.trace.digest());
+  // Partial-synchrony knobs fold only when engaged: a synchronous (or
+  // delay/omission) cell with the default gst/max_rounds keeps its
+  // historical digest byte for byte. The kind byte above already separates
+  // EventualSynchrony cells from everything else; the conditional folds
+  // below separate them from each other.
+  if (scenario.sched.kind == sched::PolicyDesc::Kind::EventualSynchrony ||
+      scenario.sched.gst != 0) {
+    w.u32(scenario.sched.gst);
+  }
   w.u8(static_cast<std::uint8_t>(scenario.stats_mode));
+  if (scenario.max_rounds != 0) w.u32(scenario.max_rounds);
   return fnv1a64(w.data());
 }
 
@@ -298,10 +310,14 @@ std::string cell_json_fields(const CellResult& cell) {
       << ", \"input_seed\": " << cell.scenario.input_seed
       << ", \"adversaries\": " << cell.scenario.adversaries.size()
       << ", \"solvable\": " << (cell.solvable ? "true" : "false");
+  const bool gst_cell = cell.scenario.sched.kind == sched::PolicyDesc::Kind::EventualSynchrony;
   if (!cell.scenario.sched.is_synchronous()) {
-    const char* kind =
-        cell.scenario.sched.kind == sched::PolicyDesc::Kind::RandomDelay ? "delay" : "omit";
+    const char* kind = gst_cell ? "gst"
+                       : cell.scenario.sched.kind == sched::PolicyDesc::Kind::RandomDelay
+                           ? "delay"
+                           : "omit";
     out << ", \"sched\": \"" << kind << "\", \"sched_seed\": " << cell.scenario.sched.seed;
+    if (gst_cell) out << ", \"gst\": " << cell.scenario.sched.gst;
   }
   if (cell.outcome.has_value()) {
     const auto& run = *cell.outcome;
@@ -313,6 +329,15 @@ std::string cell_json_fields(const CellResult& cell) {
         << ", \"stability\": " << (run.report.stability ? "true" : "false")
         << ", \"non_competition\": " << (run.report.non_competition ? "true" : "false")
         << "}, \"all_properties\": " << (run.report.all() ? "true" : "false");
+    // Round-complexity verdict: emitted for partial-synchrony cells (where
+    // rounds_to_termination is the quantity under study) and for any run
+    // that failed to terminate — so every pre-existing cell line, whose
+    // runs all terminate under bounded schedules, keeps its exact bytes.
+    if (gst_cell || !run.terminated || run.round_limit_hit) {
+      out << ", \"terminated\": " << (run.terminated ? "true" : "false")
+          << ", \"rounds_to_termination\": " << run.rounds_to_termination
+          << ", \"round_limit_hit\": " << (run.round_limit_hit ? "true" : "false");
+    }
   }
   return out.str();
 }
@@ -370,6 +395,13 @@ FileStreamResult stream_sweep_file(const std::vector<ScenarioSpec>& cells,
 
   std::error_code ec;
   if (resume && fs::exists(path, ec)) {
+    // A directory (or other non-regular file) at the target is never a
+    // resumable document — and libstdc++ throws from the read on EISDIR,
+    // so rule it out before touching the stream.
+    if (!fs::is_regular_file(path, ec)) {
+      res.error = "cannot read " + path + " (not a regular file)";
+      return res;
+    }
     std::ifstream in(path, std::ios::binary);
     if (!in) {
       res.error = "cannot read " + path;
@@ -609,7 +641,48 @@ std::size_t load_oracle_cache(OracleCache& cache, const std::string& dir) {
   return loaded;
 }
 
-std::size_t save_oracle_cache(const OracleCache& cache, const std::string& dir) {
+namespace {
+
+/// Bounded exponential backoff with deterministic jitter: attempt a
+/// (0-based retry) waits base * 2^a, plus up to half of that drawn from
+/// the jitter seed, capped at max_delay_ms. No wall clock: the same seed
+/// and attempt always wait the same span.
+[[nodiscard]] std::uint32_t backoff_delay_ms(const SaveRetryOptions& retry, std::uint64_t op_index,
+                                             std::uint32_t attempt) {
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(std::max<std::uint32_t>(retry.base_delay_ms, 1)) << attempt;
+  const std::uint64_t jitter =
+      splitmix64(retry.jitter_seed ^ splitmix64(op_index * 0x9e3779b97f4a7c15ULL + attempt)) %
+      (base / 2 + 1);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(base + jitter, std::max<std::uint32_t>(retry.max_delay_ms, 1)));
+}
+
+/// Run one filesystem operation under the retry policy. `op` returns true
+/// on success; the test hook can force any try to fail before `op` runs.
+template <typename Op>
+[[nodiscard]] bool with_retries(const SaveRetryOptions& retry, std::size_t& op_index, Op&& op) {
+  const std::uint32_t attempts = std::max<std::uint32_t>(retry.attempts, 1);
+  for (std::uint32_t a = 0; a < attempts; ++a) {
+    const bool forced_fail = retry.fail_op && retry.fail_op(op_index);
+    ++op_index;
+    if (!forced_fail && op()) return true;
+    if (a + 1 < attempts) {
+      const std::uint32_t delay = backoff_delay_ms(retry, op_index, a);
+      if (retry.sleep) {
+        retry.sleep(delay);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t save_oracle_cache(const OracleCache& cache, const std::string& dir,
+                              const SaveRetryOptions& retry) {
   if (dir.empty()) return 0;
 
   // Collect under the shard locks, write after: for_each must stay cheap.
@@ -628,16 +701,41 @@ std::size_t save_oracle_cache(const OracleCache& cache, const std::string& dir) 
 
   fs::create_directories(dir);
   std::size_t written = 0;
+  std::size_t op_index = 0;
   for (const Saved& entry : entries) {
     const fs::path path = fs::path(dir) / (to_hex(entry.key.digest()) + ".okv");
     std::error_code ec;
     if (fs::exists(path, ec)) continue;  // content-addressed: already persisted
-    std::ofstream out(path, std::ios::binary);
-    if (!out) continue;
+
+    // Write-then-rename publish: readers (and concurrent savers racing on
+    // the same content-addressed name) only ever see complete files. Both
+    // steps retry on transient errors; a persistent failure skips this
+    // entry — the cache is an optimization, not a result.
+    const fs::path tmp = fs::path(dir) / (to_hex(entry.key.digest()) + ".okv.tmp");
     const Bytes data = encode_oracle_entry(entry.key, entry.solvable, entry.protocol);
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
-    if (out) ++written;
+    const bool wrote = with_retries(retry, op_index, [&] {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return false;
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size()));
+      out.flush();
+      return static_cast<bool>(out);
+    });
+    const bool renamed = wrote && with_retries(retry, op_index, [&] {
+      std::error_code rename_ec;
+      fs::rename(tmp, path, rename_ec);
+      return !rename_ec;
+    });
+    if (renamed) {
+      ++written;
+    } else {
+      fs::remove(tmp, ec);  // best effort; a stray .tmp is ignored by load
+      if (retry.log != nullptr) {
+        *retry.log << "oracle-cache: skipping " << path.filename().string() << " after "
+                   << std::max<std::uint32_t>(retry.attempts, 1) << " attempts ("
+                   << (wrote ? "rename" : "write") << " kept failing)\n";
+      }
+    }
   }
   return written;
 }

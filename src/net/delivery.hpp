@@ -89,6 +89,24 @@ class DeliveryPolicy {
   /// The bounds this policy promises to stay inside (used by the explorer
   /// and the property harnesses to decide whether a failure is a finding).
   [[nodiscard]] virtual const FaultEnvelope& envelope() const = 0;
+
+  /// Partial-synchrony hook: called once per engine round *before* the
+  /// engine would assemble and step protocol round `next`. Returning true
+  /// stalls the engine for that engine round — nothing is delivered, no
+  /// process steps, the protocol round stays frozen and only the engine's
+  /// round clock advances. The engine re-consults for the same `next` on
+  /// the following engine round, so a policy stalls k rounds by returning
+  /// true k times. The default (synchronous and bounded-perturbation
+  /// policies) never stalls.
+  [[nodiscard]] virtual bool stall_round(Round next) {
+    (void)next;
+    return false;
+  }
+
+  /// Upper bound on the total engine rounds stall_round() may consume
+  /// over a run (0 for policies that never stall). Runners size their
+  /// default round-limit guard as protocol rounds + this budget.
+  [[nodiscard]] virtual Round stall_budget() const { return 0; }
 };
 
 }  // namespace bsm::net

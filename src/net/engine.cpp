@@ -312,6 +312,7 @@ void Engine::deliver_and_step() {
   scratch_ = mailbox_.recycle();
   in_flight_ = std::move(outgoing);
   ++round_;
+  ++engine_round_;
 }
 
 void Engine::assemble_with_policy() {
@@ -367,6 +368,25 @@ void Engine::assemble_with_policy() {
 
 void Engine::run(Round rounds) {
   for (Round i = 0; i < rounds; ++i) deliver_and_step();
+}
+
+Engine::RunProgress Engine::run_guarded(Round rounds, Round max_engine_rounds) {
+  RunProgress prog;
+  const Round start = engine_round_;
+  while (prog.protocol_rounds < rounds) {
+    if (max_engine_rounds != 0 && engine_round_ >= max_engine_rounds) {
+      prog.limit_hit = true;
+      break;
+    }
+    if (policy_ != nullptr && policy_->stall_round(round_)) {
+      ++engine_round_;  // stalled tick: only the clock advances
+      continue;
+    }
+    deliver_and_step();
+    ++prog.protocol_rounds;
+  }
+  prog.engine_rounds = engine_round_ - start;
+  return prog;
 }
 
 }  // namespace bsm::net

@@ -208,10 +208,32 @@ class Engine {
   /// and `strategy` takes over (the honest process is discarded).
   void schedule_corruption(PartyId id, Round when, std::unique_ptr<Process> strategy);
 
-  /// Run rounds [current, current + rounds).
+  /// Run rounds [current, current + rounds). Ignores DeliveryPolicy
+  /// stall verdicts (every iteration is a protocol round) — drive
+  /// stall-capable policies through run_guarded() instead.
   void run(Round rounds);
 
+  /// What a guarded run did (see run_guarded).
+  struct RunProgress {
+    Round protocol_rounds = 0;  ///< protocol rounds completed this call
+    Round engine_rounds = 0;    ///< engine ticks consumed (>= protocol_rounds)
+    bool limit_hit = false;     ///< stopped by the engine-round cap instead
+  };
+
+  /// The partial-synchrony driver: complete `rounds` protocol rounds,
+  /// consulting the delivery policy's stall_round() before each — a
+  /// stalled tick advances only the engine-round clock (nothing delivers,
+  /// nobody steps, current_round() is frozen) — and hard-stop once the
+  /// cumulative engine-round clock reaches `max_engine_rounds` (0 = no
+  /// cap; with no cap an ever-stalling policy never returns). With no
+  /// policy, or one that never stalls, this is run(rounds) plus the cap.
+  RunProgress run_guarded(Round rounds, Round max_engine_rounds);
+
   [[nodiscard]] Round current_round() const noexcept { return round_; }
+
+  /// Engine ticks consumed so far: protocol rounds plus stalled rounds.
+  /// Tracks current_round() exactly until the first stall.
+  [[nodiscard]] Round engine_rounds() const noexcept { return engine_round_; }
   [[nodiscard]] bool is_corrupt(PartyId id) const;
   [[nodiscard]] std::vector<bool> corrupt_mask() const;
 
@@ -281,7 +303,8 @@ class Engine {
   std::vector<Envelope> in_flight_;
   std::vector<Envelope> scratch_;  ///< recycled send buffer
   Mailbox mailbox_;
-  Round round_ = 0;
+  Round round_ = 0;         ///< protocol rounds completed
+  Round engine_round_ = 0;  ///< engine ticks, stalled rounds included
   TrafficStats stats_;
   Observer observer_;
   std::unique_ptr<DeliveryPolicy> policy_;  ///< nullptr = synchronous fast path

@@ -26,17 +26,32 @@ Eval eval_schedule(const core::ScenarioSpec& base,
     });
   }
 
+  // Scripted stalls make one protocol round cost several engine rounds;
+  // the stall budget is finite by construction, so rounds + budget is an
+  // exact cap (hit only on saturated hand-written traces, never by
+  // search-generated ones).
+  const auto* policy = run.engine.delivery_policy();
+  const Round budget = policy != nullptr ? policy->stall_budget() : 0;
+  const Round cap = rounds > UINT32_MAX - budget ? UINT32_MAX : rounds + budget;
+
   Eval eval;
   eval.trail = 0x5eed0f0ddULL;
   if (collect_prefixes) eval.prefixes.reserve(rounds);
   for (Round r = 0; r < rounds; ++r) {
-    run.engine.run(1);
+    const auto prog = run.engine.run_guarded(1, cap);
     std::uint64_t state = splitmix64(r);
+    if (prog.engine_rounds > prog.protocol_rounds) {
+      // Stalled rounds are schedule-visible: fold the stall count so a
+      // stalled prefix never collides with the synchronous one. Traces
+      // without stalls keep the historical digest stream byte for byte.
+      state = hash_combine(state, 0x57a11ULL + (prog.engine_rounds - prog.protocol_rounds));
+    }
     for (PartyId id = 0; id < run.config.n(); ++id) {
       state = hash_combine(state, run.engine.view_hash(id));
     }
     eval.trail = hash_combine(eval.trail, state);
     if (collect_prefixes) eval.prefixes.push_back(eval.trail);
+    if (prog.limit_hit) break;
   }
 
   const core::RunOutcome outcome = core::collect_outcome(run);

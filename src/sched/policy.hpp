@@ -32,6 +32,9 @@ struct PolicyDesc {
     RandomDelay,       ///< seeded bounded delays on in-envelope channels
     TargetedOmission,  ///< budgeted drops on in-envelope channels
     Scripted,          ///< replay a ScheduleTrace
+    /// Partial synchrony: seeded stalls/delays/reorders before the GST
+    /// engine round, strictly synchronous after (EventualSynchronyPolicy).
+    EventualSynchrony,
   };
 
   /// Which channels the policy may perturb. CorruptAdjacent restricts to
@@ -47,6 +50,7 @@ struct PolicyDesc {
   std::uint32_t delay_permille = 250;  ///< RandomDelay per-envelope delay odds
   std::uint32_t omission_budget = 2;   ///< TargetedOmission drops per target
   ScheduleTrace trace;                 ///< Scripted only
+  Round gst = 0;                       ///< EventualSynchrony: the GST engine round
 
   bool operator==(const PolicyDesc&) const = default;
 
@@ -109,15 +113,20 @@ class TargetedOmissionPolicy final : public net::DeliveryPolicy {
 
 /// Replays a ScheduleTrace: an op at (round, from, to) applies to every
 /// envelope of that channel group at that delivery round; everything else
-/// delivers natively. Serialize the trace, parse it back, replay — the
-/// transcript is bit-for-bit the same (the explorer's counterexample
-/// reproduction contract).
+/// delivers natively. Stall ops are keyed by protocol round alone: a
+/// `stall@r:0>0*c` op stalls the engine for c engine rounds before
+/// protocol round r begins (run the engine via run_guarded to honor
+/// them). Serialize the trace, parse it back, replay — the transcript is
+/// bit-for-bit the same (the explorer's counterexample reproduction
+/// contract).
 class ScriptedPolicy final : public net::DeliveryPolicy {
  public:
   explicit ScriptedPolicy(ScheduleTrace trace);
 
   [[nodiscard]] net::DeliveryVerdict on_envelope(Round now, const net::Envelope& env) override;
   [[nodiscard]] const net::FaultEnvelope& envelope() const override { return envelope_; }
+  [[nodiscard]] bool stall_round(Round next) override;
+  [[nodiscard]] Round stall_budget() const override { return stall_budget_; }
 
   [[nodiscard]] const ScheduleTrace& trace() const noexcept { return trace_; }
   [[nodiscard]] std::uint64_t applied() const noexcept { return applied_; }
@@ -126,7 +135,55 @@ class ScriptedPolicy final : public net::DeliveryPolicy {
   ScheduleTrace trace_;
   net::FaultEnvelope envelope_;  ///< implied by the ops: their endpoints/args
   std::unordered_map<std::uint64_t, ScheduleOp> by_slot_;  ///< (round, from, to) -> op
+  std::unordered_map<Round, std::uint32_t> stalls_;  ///< protocol round -> stalls left
+  Round stall_budget_ = 0;                           ///< total scripted stall rounds
   std::uint64_t applied_ = 0;
+};
+
+/// The partial-synchrony adversary: before the GST engine round the
+/// network may stall whole engine rounds and delay or reorder covered
+/// channel-round groups (all drawn from one explicit seed); from GST on
+/// it is strictly synchronous. Verdicts are memoized per (round, from,
+/// to) slot, so every envelope of a channel-round group shares one fate —
+/// exactly the granularity a ScheduleTrace speaks — and recorded()
+/// returns the applied ops as a canonical trace whose ScriptedPolicy
+/// replay reproduces the run bit for bit (tests/sched_test.cpp).
+///
+/// Liveness shape: stalls only happen pre-GST, so a run consumes at most
+/// `gst` extra engine rounds — rounds_to_termination <= protocol deadline
+/// + gst, the bound the termination batteries assert. Messages delayed
+/// just before GST may still land up to max_delay rounds after it, the
+/// standard partial-synchrony carry-over.
+///
+/// Drive the engine via run_guarded(): Engine::run() never consults the
+/// stall hook.
+class EventualSynchronyPolicy final : public net::DeliveryPolicy {
+ public:
+  /// `envelope` bounds the perturbation (covered channels, max_delay >= 1
+  /// enforced); `gst` is the first strictly-synchronous engine round.
+  EventualSynchronyPolicy(std::uint64_t seed, Round gst, net::FaultEnvelope envelope);
+
+  [[nodiscard]] net::DeliveryVerdict on_envelope(Round now, const net::Envelope& env) override;
+  [[nodiscard]] const net::FaultEnvelope& envelope() const override { return envelope_; }
+  [[nodiscard]] bool stall_round(Round next) override;
+  [[nodiscard]] Round stall_budget() const override { return gst_; }
+
+  [[nodiscard]] Round gst() const noexcept { return gst_; }
+  [[nodiscard]] std::uint64_t stalled() const noexcept { return stalled_; }
+  [[nodiscard]] std::uint64_t delayed() const noexcept { return delayed_; }
+
+  /// Everything the adversary actually did, as a canonical ScheduleTrace.
+  [[nodiscard]] ScheduleTrace recorded() const;
+
+ private:
+  std::uint64_t seed_;
+  Round gst_;
+  net::FaultEnvelope envelope_;
+  Round ticks_ = 0;  ///< stall consults so far == engine rounds begun
+  std::unordered_map<std::uint64_t, net::DeliveryVerdict> by_slot_;  ///< memoized group verdicts
+  std::vector<ScheduleOp> applied_;  ///< every non-identity act, recording order
+  std::uint64_t stalled_ = 0;
+  std::uint64_t delayed_ = 0;
 };
 
 /// Materialize `desc` against the run's fault envelope (the caller — the

@@ -15,6 +15,8 @@ namespace {
       return "delay";
     case ScheduleOp::Kind::Rank:
       return "rank";
+    case ScheduleOp::Kind::Stall:
+      return "stall";
   }
   return "?";
 }
@@ -23,6 +25,7 @@ namespace {
   if (name == "drop") return ScheduleOp::Kind::Drop;
   if (name == "delay") return ScheduleOp::Kind::Delay;
   if (name == "rank") return ScheduleOp::Kind::Rank;
+  if (name == "stall") return ScheduleOp::Kind::Stall;
   return std::nullopt;
 }
 

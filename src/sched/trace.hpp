@@ -32,13 +32,19 @@ struct ScheduleOp {
     Drop,   ///< omit the group entirely
     Delay,  ///< deliver `arg` rounds late (arg >= 1)
     Rank,   ///< keep the round, demote the group to rank `arg` (arg >= 1)
+    /// Stall the engine for `arg` extra engine rounds before protocol
+    /// round `round` begins: nothing is delivered and no process steps
+    /// while a stall is pending, only the engine-round clock advances
+    /// (the partial-synchrony primitive — a scripted pre-GST "silence").
+    /// from/to are unused and serialize as 0>0.
+    Stall,
   };
 
   Kind kind = Kind::Drop;
   Round round = 0;  ///< the delivery round being perturbed
   PartyId from = 0;
   PartyId to = 0;
-  std::uint32_t arg = 1;  ///< delay distance or rank; ignored for Drop
+  std::uint32_t arg = 1;  ///< delay distance, rank, or stall length; ignored for Drop
 
   bool operator==(const ScheduleOp&) const = default;
 

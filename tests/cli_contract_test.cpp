@@ -47,7 +47,8 @@ TEST(CliContract, HelpExitsZeroAndDocumentsEverySubcommand) {
   const auto result = run_cli("--help");
   EXPECT_EQ(result.exit_code, 0);
   for (const char* word : {"run", "sweep", "merge", "explore", "fuzz", "bench", "--replay",
-                           "--max-depth", "--max-execs", "--shard", "--resume"}) {
+                           "--max-depth", "--max-execs", "--shard", "--resume", "--trace",
+                           "--gst", "--gst-seed", "--max-rounds"}) {
     EXPECT_NE(result.output.find(word), std::string::npos) << "help must mention " << word;
   }
 }
@@ -87,9 +88,57 @@ TEST(CliContract, BadValuesExitTwo) {
         "sweep --topology moebius", "fuzz --k zilch", "fuzz --battery nuclear",
         "fuzz --ops blackhole", "fuzz --replay not-a-trace", "fuzz --topology moebius",
         "sweep --shard 0/4", "sweep --shard 5/4", "sweep --shard five",
-        "sweep --checkpoint-every 0"}) {
+        "sweep --checkpoint-every 0", "run --trace not-a-trace", "run --gst zilch",
+        "run --max-rounds 2000000", "sweep --sched gst --gst 0,65", "sweep --max-rounds junk",
+        "explore --max-rounds junk", "fuzz --max-rounds junk"}) {
     const auto result = run_cli(args);
     EXPECT_EQ(result.exit_code, 2) << args;
+  }
+}
+
+TEST(CliContract, RunTraceAndGstAreMutuallyExclusive) {
+  const auto result = run_cli("run --k 2 --tl 1 --tr 0 --trace \"stall@0:0>0*2\" --gst 1");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("mutually exclusive"), std::string::npos) << result.output;
+}
+
+TEST(CliContract, RunUnderGstReportsLiveness) {
+  const auto result = run_cli("run --k 2 --tl 1 --tr 0 --gst 3");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("Liveness:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("terminated=1"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("round_limit_hit=0"), std::string::npos) << result.output;
+}
+
+TEST(CliContract, NeverDeliverScheduleIsStructuredAtEveryEntryPoint) {
+  // A stall wall that would starve the engine forever must come back as a
+  // round_limit_hit verdict — exit 1, no hang — through every entry point.
+  const std::string wall = "\"stall@0:0>0*100000\"";
+
+  const auto run = run_cli("run --k 2 --tl 1 --tr 0 --trace " + wall + " --max-rounds 20");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("round_limit_hit=1"), std::string::npos) << run.output;
+
+  const auto explore =
+      run_cli("explore --k 2 --tl 1 --tr 0 --replay " + wall + " --max-rounds 20");
+  EXPECT_EQ(explore.exit_code, 1) << explore.output;
+  EXPECT_NE(explore.output.find("\"round_limit_hit\": true"), std::string::npos)
+      << explore.output;
+  EXPECT_NE(explore.output.find("\"terminated\": false"), std::string::npos) << explore.output;
+
+  const auto fuzz = run_cli("fuzz --k 2 --tl 1 --tr 0 --replay " + wall + " --max-rounds 20");
+  EXPECT_EQ(fuzz.exit_code, 1) << fuzz.output;
+  EXPECT_NE(fuzz.output.find("\"round_limit_hit\": true"), std::string::npos) << fuzz.output;
+}
+
+TEST(CliContract, SweepGstAxisEmitsLivenessFields) {
+  const auto result = run_cli(
+      "sweep --k 2 --tl 0,1 --tr 0 --battery silent --sched gst --gst 0,2 --sched-seeds 2");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  for (const char* field : {"\"sched\": \"gst\"", "\"gst\": 2", "\"terminated\": true",
+                            "\"rounds_to_termination\"", "\"round_limit_hit\": false"}) {
+    EXPECT_NE(result.output.find(field), std::string::npos)
+        << "gst sweep JSON must contain " << field;
   }
 }
 

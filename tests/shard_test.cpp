@@ -12,6 +12,7 @@
 //     and a preloaded cache turns a second process's misses into hits.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -324,6 +325,187 @@ TEST(Shard, OracleCachePersistsAcrossProcesses) {
   // Loading from a missing directory is zero entries, not an error.
   OracleCache empty;
   EXPECT_EQ(load_oracle_cache(empty, (dir / "absent").string()), 0U);
+}
+
+/// A small grid whose sweep populates an OracleCache with a handful of
+/// distinct settings (the retry tests need >= 2 persisted files).
+[[nodiscard]] std::vector<ScenarioSpec> retry_grid() {
+  SweepGrid grid;
+  grid.ks = {2};
+  grid.tls = {0, 1};
+  grid.trs = {0, 1};
+  return grid.cells();
+}
+
+TEST(Shard, OracleCacheSaveRetriesTransientFailures) {
+  OracleCache cache;
+  (void)run_sweep(retry_grid(), {.threads = 1, .oracle = &cache});
+  const auto dir = scratch_dir("retry_transient");
+  const std::size_t expected = save_oracle_cache(cache, (dir / "baseline").string());
+  ASSERT_GE(expected, 2U);
+
+  // The first write attempt of the first file fails once; every file must
+  // still land, after exactly one recorded backoff.
+  std::vector<std::uint32_t> delays;
+  SaveRetryOptions retry;
+  retry.jitter_seed = 42;
+  retry.sleep = [&](std::uint32_t ms) { delays.push_back(ms); };
+  retry.fail_op = [](std::size_t op) { return op == 0; };
+  const std::size_t saved = save_oracle_cache(cache, (dir / "a").string(), retry);
+  EXPECT_EQ(saved, expected);
+  ASSERT_EQ(delays.size(), 1U);
+  EXPECT_GE(delays[0], 1U);
+  EXPECT_LE(delays[0], retry.max_delay_ms);
+
+  // Same seed, same failure pattern: the backoff schedule is deterministic.
+  std::vector<std::uint32_t> delays_again;
+  SaveRetryOptions retry_again = retry;
+  retry_again.sleep = [&](std::uint32_t ms) { delays_again.push_back(ms); };
+  EXPECT_EQ(save_oracle_cache(cache, (dir / "b").string(), retry_again), expected);
+  EXPECT_EQ(delays_again, delays);
+
+  // No torn or temporary files survive a successful save.
+  for (const auto& file : fs::directory_iterator(dir / "a")) {
+    EXPECT_EQ(file.path().extension(), ".okv") << file.path();
+  }
+}
+
+TEST(Shard, OracleCacheSavePersistentFailureIsALoggedSkipNotAnAbort) {
+  OracleCache cache;
+  (void)run_sweep(retry_grid(), {.threads = 1, .oracle = &cache});
+  const auto dir = scratch_dir("retry_persistent");
+  const std::size_t expected = save_oracle_cache(cache, (dir / "baseline").string());
+  ASSERT_GE(expected, 2U);
+
+  // Every try of the first file's write fails; later files are untouched.
+  std::ostringstream log;
+  std::vector<std::uint32_t> delays;
+  SaveRetryOptions retry;
+  retry.attempts = 3;
+  retry.sleep = [&](std::uint32_t ms) { delays.push_back(ms); };
+  retry.fail_op = [&](std::size_t op) { return op < 3; };
+  retry.log = &log;
+  const std::size_t saved = save_oracle_cache(cache, (dir / "a").string(), retry);
+  EXPECT_EQ(saved, expected - 1);
+  EXPECT_EQ(delays.size(), 2U) << "attempts - 1 backoffs per failed operation";
+  EXPECT_NE(log.str().find("oracle-cache: skipping"), std::string::npos) << log.str();
+  EXPECT_NE(log.str().find("write kept failing"), std::string::npos) << log.str();
+
+  // The skipped file left no litter, and a loader sees only complete files.
+  std::size_t okv = 0;
+  for (const auto& file : fs::directory_iterator(dir / "a")) {
+    EXPECT_EQ(file.path().extension(), ".okv") << file.path();
+    ++okv;
+  }
+  EXPECT_EQ(okv, expected - 1);
+  OracleCache loaded;
+  EXPECT_EQ(load_oracle_cache(loaded, (dir / "a").string()), expected - 1);
+
+  // A rename-side persistent failure is the same verdict, labeled rename.
+  std::ostringstream rename_log;
+  SaveRetryOptions rename_retry;
+  rename_retry.attempts = 3;
+  rename_retry.sleep = [](std::uint32_t) {};
+  rename_retry.fail_op = [](std::size_t op) { return op >= 1 && op <= 3; };
+  rename_retry.log = &rename_log;
+  EXPECT_EQ(save_oracle_cache(cache, (dir / "b").string(), rename_retry), expected - 1);
+  EXPECT_NE(rename_log.str().find("rename kept failing"), std::string::npos) << rename_log.str();
+  for (const auto& file : fs::directory_iterator(dir / "b")) {
+    EXPECT_EQ(file.path().extension(), ".okv") << file.path();
+  }
+}
+
+// ------------------------------------------------- fault-injection shim
+//
+// Simulates a shard writer that dies at its Nth line write: `fail` ends
+// the document right before the line, `short_write` lands half of it.
+// Every such document must be rejected by merge_jsonl (a complete-set
+// validation) and repaired by stream_sweep_file --resume (a convergence
+// guarantee), never crash either.
+
+[[nodiscard]] std::string faulty_doc(const std::string& pristine, std::size_t nth_line,
+                                     bool short_write) {
+  std::size_t pos = 0;
+  for (std::size_t line = 0; line < nth_line; ++line) {
+    const auto nl = pristine.find('\n', pos);
+    if (nl == std::string::npos) return pristine;  // past the end: no fault
+    pos = nl + 1;
+  }
+  const auto nl = pristine.find('\n', pos);
+  const std::size_t line_len = (nl == std::string::npos ? pristine.size() : nl) - pos;
+  return pristine.substr(0, short_write ? pos + line_len / 2 : pos);
+}
+
+TEST(Shard, MergeRejectsEveryFaultInjectedDocument) {
+  const auto cells = shard_grid();
+  const std::string a = stream_to_string(cells, {1, 2}, 1);
+  const std::string b = stream_to_string(cells, {2, 2}, 1);
+  const std::size_t lines = static_cast<std::size_t>(std::count(b.begin(), b.end(), '\n'));
+  ASSERT_GT(lines, 4U);
+
+  std::string error;
+  for (const std::size_t nth : {std::size_t{0}, std::size_t{1}, lines / 2, lines - 1}) {
+    for (const bool short_write : {false, true}) {
+      const std::string faulty = faulty_doc(b, nth, short_write);
+      ASSERT_LT(faulty.size(), b.size());
+      error.clear();
+      EXPECT_FALSE(merge_jsonl({a, faulty}, &error).has_value())
+          << "accepted a document cut at line " << nth << (short_write ? " (short write)" : "");
+      EXPECT_FALSE(error.empty());
+    }
+  }
+  // A fault past the document's end is no fault: the set still merges.
+  EXPECT_TRUE(merge_jsonl({a, faulty_doc(b, lines + 1, false)}, &error).has_value()) << error;
+}
+
+TEST(Shard, ResumeRepairsEveryFaultInjectedFile) {
+  const auto cells = shard_grid();
+  const auto dir = scratch_dir("faulty_resume");
+  const fs::path file = dir / "shard.jsonl";
+
+  StreamOptions opts;
+  opts.shard = {1, 2};
+  opts.checkpoint_every = 5;
+  OracleCache cache;
+  opts.sweep.oracle = &cache;
+  ASSERT_TRUE(stream_sweep_file(cells, opts, file.string(), false).error.empty());
+  const std::string pristine = read_file(file);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(pristine.begin(), pristine.end(), '\n'));
+
+  for (const std::size_t nth : {std::size_t{0}, std::size_t{2}, lines / 2, lines - 1}) {
+    for (const bool short_write : {false, true}) {
+      {
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        const std::string faulty = faulty_doc(pristine, nth, short_write);
+        out.write(faulty.data(), static_cast<std::streamsize>(faulty.size()));
+      }
+      OracleCache resume_cache;
+      StreamOptions resume_opts = opts;
+      resume_opts.sweep.oracle = &resume_cache;
+      const auto res = stream_sweep_file(cells, resume_opts, file.string(), /*resume=*/true);
+      ASSERT_TRUE(res.error.empty())
+          << "line " << nth << (short_write ? " short" : " fail") << ": " << res.error;
+      EXPECT_EQ(read_file(file), pristine)
+          << "resume diverged after fault at line " << nth;
+    }
+  }
+}
+
+TEST(Shard, StreamFileReportsUnusablePathsAsErrors) {
+  const auto cells = shard_grid();
+  const auto dir = scratch_dir("bad_paths");
+  StreamOptions opts;
+  opts.shard = {1, 2};
+  OracleCache cache;
+  opts.sweep.oracle = &cache;
+
+  // The target is a directory: both fresh-write and resume must fail with
+  // a structured error, not a crash or a silent no-op.
+  const auto fresh = stream_sweep_file(cells, opts, dir.string(), /*resume=*/false);
+  EXPECT_FALSE(fresh.error.empty());
+  const auto resumed = stream_sweep_file(cells, opts, dir.string(), /*resume=*/true);
+  EXPECT_FALSE(resumed.error.empty());
 }
 
 TEST(Shard, PreloadedEntriesDoNotShadowFreshDerivations) {

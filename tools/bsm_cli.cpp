@@ -43,6 +43,8 @@
 #include "matching/generators.hpp"
 #include "sched/explorer.hpp"
 #include "sched/fuzz.hpp"
+#include "sched/policy.hpp"
+#include "sched/trace.hpp"
 
 namespace {
 
@@ -186,6 +188,8 @@ struct SweepCli {
   std::uint64_t num_seeds = 2;
   std::uint64_t sched_seeds = 1;
   sched::PolicyDesc sched_base;
+  bool sched_gst = false;            ///< --sched gst: fan out over gst_axis
+  std::vector<Round> gsts = {0, 2};  ///< --gst: the GST values of that axis
   core::SweepOptions opts;
 
   // Streaming surface (core/shard.hpp); active iff --out is given.
@@ -277,23 +281,42 @@ struct SweepCli {
       }));
   sub.flags.push_back(cli::value_flag(
       "--sched", "KIND",
-      "delivery schedule per cell: sync,delay,omit (default: sync;\n"
-      "                        delay/omit perturb only corrupt-adjacent channels)",
+      "delivery schedule per cell: sync,delay,omit,gst (default: sync;\n"
+      "                        delay/omit/gst perturb only corrupt-adjacent channels)",
       [&o](const std::string& v) -> std::optional<std::string> {
+        o.sched_gst = false;
         if (v == "sync") {
           o.sched_base.kind = sched::PolicyDesc::Kind::Synchronous;
         } else if (v == "delay") {
           o.sched_base.kind = sched::PolicyDesc::Kind::RandomDelay;
         } else if (v == "omit") {
           o.sched_base.kind = sched::PolicyDesc::Kind::TargetedOmission;
+        } else if (v == "gst") {
+          o.sched_base.kind = sched::PolicyDesc::Kind::EventualSynchrony;
+          o.sched_gst = true;
         } else {
-          return "expected sync|delay|omit";
+          return "expected sync|delay|omit|gst";
         }
+        return std::nullopt;
+      }));
+  sub.flags.push_back(cli::value_flag(
+      "--gst", "LIST",
+      "with --sched gst: comma list of GST engine rounds to fan\n"
+      "                        each setting out over (default: 0,2)",
+      [&o, u32_list](const std::string& v) -> std::optional<std::string> {
+        std::vector<std::uint32_t> values;
+        if (auto reason = u32_list(v, values)) return reason;
+        if (values.empty()) return "expected at least one GST value";
+        o.gsts.assign(values.begin(), values.end());
         return std::nullopt;
       }));
   sub.flags.push_back(bounded_flag(
       "--sched-seeds", "N", "fan each setting out over N schedule seeds (default: 1)", 1, 10000,
       [&o](std::uint64_t n) { o.sched_seeds = n; }));
+  sub.flags.push_back(bounded_flag(
+      "--max-rounds", "N",
+      "engine-round guard per cell, 0 = deadline + stall budget (default: 0)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.grid.max_rounds = static_cast<Round>(n); }));
   sub.flags.push_back(bounded_flag(
       "--threads", "N", "worker threads, 0 = hardware (default: 0)", 0, 1024,
       [&o](std::uint64_t n) { o.opts.threads = static_cast<unsigned>(n); }));
@@ -366,7 +389,8 @@ int run_sweep_command(int argc, char** argv) {
 
   o.grid.seeds.clear();
   for (std::uint64_t s = 1; s <= o.num_seeds; ++s) o.grid.seeds.push_back(s);
-  o.grid.scheds = core::schedule_axis(o.sched_base, o.sched_seeds);
+  o.grid.scheds = o.sched_gst ? core::gst_axis(o.sched_base, o.gsts, o.sched_seeds)
+                              : core::schedule_axis(o.sched_base, o.sched_seeds);
   const auto cells = o.grid.cells();
 
   std::size_t oracle_loaded = 0;
@@ -526,7 +550,8 @@ int run_merge_command(int argc, char** argv) {
 /// trace under the scenario and print the replay JSON document. The
 /// output depends only on (scenario, horizon, trace), so a
 /// counterexample replays bit-for-bit from either subcommand.
-int run_replay(core::ScenarioSpec scenario, Round horizon, const std::string& serialized) {
+int run_replay(core::ScenarioSpec scenario, Round horizon, Round max_rounds,
+               const std::string& serialized) {
   const auto trace = sched::ScheduleTrace::parse(serialized);
   if (!trace) {
     std::cerr << "bad --replay trace: " << serialized << "\n";
@@ -536,16 +561,28 @@ int run_replay(core::ScenarioSpec scenario, Round horizon, const std::string& se
   scenario.sched.trace = *trace;
   // Honor --horizon exactly like the search does (horizon 0 = the
   // protocol deadline), so a counterexample found under a truncated
-  // horizon reproduces on replay.
+  // horizon reproduces on replay. Stepping goes through the engine-round
+  // guard: a trace that stalls the engine forever (or past --max-rounds)
+  // degrades to a round_limit_hit verdict instead of hanging the replay.
   auto run = core::assemble_run(core::to_run_spec(scenario));
-  run.engine.run(horizon == 0 ? run.rounds : horizon);
-  const core::RunOutcome out = core::collect_outcome(run);
+  const Round rounds = horizon == 0 ? run.rounds : horizon;
+  const auto* policy = run.engine.delivery_policy();
+  const Round budget = policy != nullptr ? policy->stall_budget() : 0;
+  const Round cap = max_rounds != 0
+                        ? max_rounds
+                        : (rounds > UINT32_MAX - budget ? UINT32_MAX : rounds + budget);
+  const auto prog = run.engine.run_guarded(rounds, cap);
+  core::RunOutcome out = core::collect_outcome(run);
+  out.round_limit_hit = prog.limit_hit && !out.terminated;
   std::cout << "{\n  \"replay\": {\"trace\": \"" << json_escape(trace->serialize())
             << "\", \"ops\": " << trace->ops.size() << ", \"rounds\": " << out.rounds
             << ", \"messages\": " << out.traffic.messages
             << ", \"delivered\": " << out.traffic.delivered_messages
             << ", \"dropped\": " << out.traffic.dropped_messages
             << ", \"all_properties\": " << (out.report.all() ? "true" : "false")
+            << ", \"terminated\": " << (out.terminated ? "true" : "false")
+            << ", \"rounds_to_termination\": " << out.rounds_to_termination
+            << ", \"round_limit_hit\": " << (out.round_limit_hit ? "true" : "false")
             << ",\n    \"views\": " << views_json(out.view_hashes) << "}\n}\n";
   return out.report.all() ? 0 : 1;
 }
@@ -566,6 +603,7 @@ struct ExploreCli {
   std::uint64_t seed = 1;
   core::Battery battery = core::Battery::Silent;
   sched::ExplorerOptions opts;
+  Round max_rounds = 0;
   std::optional<std::string> replay;
 };
 
@@ -600,6 +638,10 @@ struct ExploreCli {
   sub.flags.push_back(bounded_flag(
       "--max-schedules", "N", "cap on exploration runs (default: 4096)", 0, 1'000'000,
       [&o](std::uint64_t n) { o.opts.max_schedules = static_cast<std::uint32_t>(n); }));
+  sub.flags.push_back(bounded_flag(
+      "--max-rounds", "N",
+      "replay engine-round guard, 0 = horizon + stall budget (default: 0)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.max_rounds = static_cast<Round>(n); }));
   sub.flags.push_back(bounded_flag(
       "--threads", "N", "per-wave fan-out, 0 = hardware (default: 0)", 0, 1'000'000,
       [&o](std::uint64_t n) { o.opts.threads = static_cast<unsigned>(n); }));
@@ -636,7 +678,9 @@ int run_explore_command(int argc, char** argv) {
   o.scenario.pki_seed = o.seed + 1;
   core::apply_battery(o.scenario, o.battery, o.seed);
 
-  if (o.replay.has_value()) return run_replay(o.scenario, o.opts.horizon, *o.replay);
+  if (o.replay.has_value()) {
+    return run_replay(o.scenario, o.opts.horizon, o.max_rounds, *o.replay);
+  }
 
   const auto report = sched::explore(o.scenario, o.opts);
 
@@ -675,6 +719,7 @@ struct FuzzCli {
   std::uint64_t seed = 1;
   core::Battery battery = core::Battery::Silent;
   sched::FuzzerOptions opts;
+  Round max_rounds = 0;
   std::optional<std::string> replay;
 };
 
@@ -728,6 +773,10 @@ struct FuzzCli {
         return std::nullopt;
       }));
   sub.flags.push_back(bounded_flag(
+      "--max-rounds", "N",
+      "replay engine-round guard, 0 = horizon + stall budget (default: 0)", 0, 1'000'000,
+      [&o](std::uint64_t n) { o.max_rounds = static_cast<Round>(n); }));
+  sub.flags.push_back(bounded_flag(
       "--threads", "N", "per-wave fan-out, 0 = hardware (default: 0)", 0, 1'000'000,
       [&o](std::uint64_t n) { o.opts.threads = static_cast<unsigned>(n); }));
   sub.flags.push_back(cli::value_flag(
@@ -764,7 +813,9 @@ int run_fuzz_command(int argc, char** argv) {
   o.scenario.pki_seed = o.seed + 1;
   core::apply_battery(o.scenario, o.battery, o.seed);
 
-  if (o.replay.has_value()) return run_replay(o.scenario, o.opts.horizon, *o.replay);
+  if (o.replay.has_value()) {
+    return run_replay(o.scenario, o.opts.horizon, o.max_rounds, *o.replay);
+  }
 
   sched::Fuzzer fuzzer(o.scenario, o.opts);
   const auto report = fuzzer.run();
@@ -812,6 +863,10 @@ struct RunCli {
   std::uint64_t seed = 1;
   std::vector<std::string> adversaries;
   bool verbose = false;
+  std::optional<std::string> trace;  ///< --trace: scripted delivery schedule
+  std::optional<Round> gst;          ///< --gst: eventual-synchrony schedule
+  std::uint64_t gst_seed = 1;
+  Round max_rounds = 0;
 };
 
 [[nodiscard]] cli::Subcommand run_subcommand(RunCli& o) {
@@ -850,6 +905,24 @@ struct RunCli {
                         o.adversaries.push_back(v);
                         return std::nullopt;
                       }),
+      cli::value_flag("--trace", "TRACE",
+                      "run under a scripted delivery schedule (serialized\n"
+                      "                        ScheduleTrace; stall@R:0>0*N ops stall the engine)",
+                      [&o](const std::string& v) -> std::optional<std::string> {
+                        if (v.empty()) return "expected a serialized schedule trace";
+                        o.trace = v;
+                        return std::nullopt;
+                      }),
+      bounded_flag("--gst", "N",
+                   "run under the eventual-synchrony schedule with GST at\n"
+                   "                        engine round N (stalls/delays before, synchronous after)",
+                   0, 1'000'000, [&o](std::uint64_t n) { o.gst = static_cast<Round>(n); }),
+      bounded_flag("--gst-seed", "S", "eventual-synchrony adversary seed (default: 1)", 0,
+                   1'000'000, [&o](std::uint64_t n) { o.gst_seed = n; }),
+      bounded_flag("--max-rounds", "N",
+                   "engine-round guard, 0 = deadline + stall budget; a\n"
+                   "                        starved run reports round_limit_hit instead of hanging",
+                   0, 1'000'000, [&o](std::uint64_t n) { o.max_rounds = static_cast<Round>(n); }),
       cli::flag("--verbose", "print preference lists too", [&o] { o.verbose = true; }),
   };
   return sub;
@@ -890,6 +963,10 @@ int run_run_command(int argc, char** argv, int first) {
     case cli::ParseStatus::Ok:
       break;
   }
+  if (opt.trace.has_value() && opt.gst.has_value()) {
+    std::cerr << "run: --trace and --gst are mutually exclusive (try --help)\n";
+    return 2;
+  }
 
   std::cout << "Setting:   " << opt.cfg.describe() << "\n";
   std::cout << "Verdict:   " << core::solvability_reason(opt.cfg) << "\n";
@@ -922,6 +999,25 @@ int run_run_command(int argc, char** argv, int first) {
     spec.adversaries.push_back({id, 0, std::move(strategy)});
   }
 
+  spec.max_rounds = opt.max_rounds;
+  if (opt.trace.has_value()) {
+    const auto trace = sched::ScheduleTrace::parse(*opt.trace);
+    if (!trace) {
+      std::cerr << "bad --trace: " << *opt.trace << "\n";
+      return 2;
+    }
+    spec.policy = std::make_unique<sched::ScriptedPolicy>(*trace);
+  } else if (opt.gst.has_value()) {
+    // Corrupt-adjacent fault envelope, matching the sweep layer's default
+    // scope: delays/reorders only touch channels with a corrupted endpoint
+    // (stalls are engine-global by construction).
+    net::FaultEnvelope env;
+    for (const auto& adv : spec.adversaries) env.targets.insert(adv.id);
+    env.max_delay = 2;
+    spec.policy =
+        std::make_unique<sched::EventualSynchronyPolicy>(opt.gst_seed, *opt.gst, std::move(env));
+  }
+
   if (opt.verbose) {
     std::cout << "\nPreference lists:\n";
     for (PartyId id = 0; id < opt.cfg.n(); ++id) {
@@ -950,6 +1046,9 @@ int run_run_command(int argc, char** argv, int first) {
   std::cout << "Properties: termination=" << out.report.termination
             << " symmetry=" << out.report.symmetry << " stability=" << out.report.stability
             << " non-competition=" << out.report.non_competition << "\n";
+  std::cout << "Liveness:   terminated=" << out.terminated
+            << " rounds_to_termination=" << out.rounds_to_termination
+            << " round_limit_hit=" << out.round_limit_hit << "\n";
   for (const auto& v : out.report.violations) std::cout << "  violation: " << v << "\n";
   return out.report.all() ? 0 : 1;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate any bsm machine-readable report — one validator, every schema.
 
-Usage: validate_json.py PATH [--schema bench|sweep|explore|fuzz|auto]
+Usage: validate_json.py PATH [--schema bench|sweep|explore|fuzz|replay|auto]
                              [--require-ok] [--require-cases N]
                              [--require-no-violations] [--min-execs N]
 
@@ -18,12 +18,15 @@ Schemas (documented field-by-field in docs/BENCHMARKS.md):
            report, or a JSONL shard document (the three are auto-told-apart)
   explore  `bsm_cli explore` report
   fuzz     `bsm_cli fuzz` report
+  replay   `explore/fuzz --replay` document (envelope-free by contract)
   auto     dispatch on the envelope (default)
 
 Predicates (each only meaningful for the schema that defines it):
-  --require-ok             bench: overall ok; sweep: all_properties_held
+  --require-ok             bench: overall ok; sweep: all_properties_held;
+                           replay: all_properties
   --require-cases N        bench: at least N cases present
-  --require-no-violations  explore/fuzz: zero property violations
+  --require-no-violations  explore/fuzz: zero property violations;
+                           replay: no round_limit_hit
   --min-execs N            explore/fuzz: the search spent >= N runs
 
 Exits 0 when the document is schema-valid and every requested predicate
@@ -228,6 +231,15 @@ CELL_RAN_FIELDS = {
     "all_properties": bool,
 }
 
+# Round-complexity verdict, emitted for partial-synchrony (sched "gst")
+# cells and for any run cut off before termination. Optional as a group:
+# pre-existing documents without them stay valid.
+CELL_LIVENESS_FIELDS = {
+    "terminated": bool,
+    "rounds_to_termination": int,
+    "round_limit_hit": bool,
+}
+
 PROPERTY_FIELDS = {
     "termination": bool,
     "symmetry": bool,
@@ -236,17 +248,42 @@ PROPERTY_FIELDS = {
 }
 
 
+def check_liveness(obj, where, errors):
+    """Validate the optional round-complexity field group when any of it is
+    present: all three fields together, typed, and a round_limit_hit run is
+    by definition one the guard cut off while undecided."""
+    if not any(k in obj for k in CELL_LIVENESS_FIELDS):
+        return
+    check_fields({k: v for k, v in obj.items() if k in CELL_LIVENESS_FIELDS},
+                 CELL_LIVENESS_FIELDS, where, errors)
+    if obj.get("round_limit_hit") is True and obj.get("terminated") is True:
+        errors.append(f"{where}: round_limit_hit implies terminated == false")
+
+
 def validate_cell(cell, where, errors):
     if not isinstance(cell, dict):
         errors.append(f"{where}: expected an object")
         return True
-    extra = set(CELL_RAN_FIELDS) | {"sched", "sched_seed", "type", "cell"}
+    extra = set(CELL_RAN_FIELDS) | set(CELL_LIVENESS_FIELDS) | {
+        "sched", "sched_seed", "gst", "type", "cell"}
     check_fields(cell, CELL_BASE_FIELDS, where, errors, extra_ok=extra)
+    if "gst" in cell:
+        if cell.get("sched") != "gst":
+            errors.append(f"{where}: field 'gst' requires sched \"gst\"")
+        if not isinstance(cell["gst"], int) or isinstance(cell["gst"], bool):
+            errors.append(f"{where}: field 'gst' must be an integer")
+    elif cell.get("sched") == "gst":
+        errors.append(f"{where}: sched \"gst\" cells must carry the 'gst' field")
     all_ok = True
     if cell.get("solvable") is True and "protocol" in cell:
         check_fields({k: v for k, v in cell.items() if k in CELL_RAN_FIELDS},
                      CELL_RAN_FIELDS, where, errors)
         check_fields(cell.get("properties", {}), PROPERTY_FIELDS, f"{where}.properties", errors)
+        check_liveness(cell, where, errors)
+        if cell.get("sched") == "gst" and \
+                not all(k in cell for k in CELL_LIVENESS_FIELDS):
+            errors.append(f"{where}: ran sched \"gst\" cells must carry the "
+                          "round-complexity fields")
         all_ok = cell.get("all_properties") is True
     return all_ok
 
@@ -444,6 +481,48 @@ COUNTEREXAMPLE_FIELDS = {
 }
 
 
+# ------------------------------------------------------------------ replay
+
+REPLAY_FIELDS = {
+    "trace": str,
+    "ops": int,
+    "rounds": int,
+    "messages": int,
+    "delivered": int,
+    "dropped": int,
+    "all_properties": bool,
+    **CELL_LIVENESS_FIELDS,
+    "views": list,
+}
+
+
+def validate_replay(doc):
+    """An `explore --replay` / `fuzz --replay` document. Deliberately
+    envelope-free: its bytes are a pure function of (scenario, horizon,
+    trace), so it carries no git SHA or thread count."""
+    errors = []
+    for key in doc:
+        if key != "replay":
+            errors.append(f"top level: unknown field '{key}'")
+    rep = doc.get("replay")
+    if not isinstance(rep, dict):
+        errors.append("top level: 'replay' must be an object")
+        return errors
+    check_fields(rep, REPLAY_FIELDS, "replay", errors)
+    check_liveness(rep, "replay", errors)
+    views = rep.get("views", [])
+    if isinstance(views, list) and not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in views):
+        errors.append("replay: views must contain only integers")
+    trace = rep.get("trace")
+    ops = rep.get("ops")
+    if isinstance(trace, str) and isinstance(ops, int):
+        op_count = 0 if trace == "" else trace.count(";") + 1
+        if op_count != ops:
+            errors.append(f"replay: ops {ops} != trace op count {op_count}")
+    return errors
+
+
 def counters_block(doc, schema):
     """The per-schema counters object ('schedules' or 'fuzz')."""
     block = doc.get("fuzz" if schema == "fuzz" else "schedules", {})
@@ -521,7 +600,10 @@ def detect_schema(doc):
     sub = doc.get("subcommand")
     if sub in ("bench", "sweep", "explore", "fuzz"):
         return sub
-    # Pre-envelope (v1) documents: fall back to shape.
+    # Replay documents are envelope-free by contract (byte-identical
+    # reproduction); everything else pre-envelope (v1) falls back to shape.
+    if "replay" in doc:
+        return "replay"
     if "tool" in doc:
         return "bench"
     if "fuzz" in doc:
@@ -543,6 +625,11 @@ def summarize(doc, schema, path):
         return (f"OK: {path} [sweep shard {doc.get('shard')}]: "
                 f"{doc.get('cells')} cell(s), {doc.get('ran')} ran, "
                 f"all_properties_held={held}")
+    if schema == "replay":
+        rep = doc.get("replay", {})
+        return (f"OK: {path} [replay]: {rep.get('ops')} op(s), "
+                f"all_properties={rep.get('all_properties')}, "
+                f"round_limit_hit={rep.get('round_limit_hit')}")
     counters = counters_block(doc, schema)
     if schema == "fuzz":
         return (f"OK: {path} [fuzz]: {counters.get('execs')} exec(s), "
@@ -582,8 +669,8 @@ def main(argv):
             min_execs = int(value)
         elif a == "--schema":
             value = next(it, None)
-            if value not in ("bench", "sweep", "explore", "fuzz", "auto"):
-                print("--schema must be bench, sweep, explore, fuzz, or auto",
+            if value not in ("bench", "sweep", "explore", "fuzz", "replay", "auto"):
+                print("--schema must be bench, sweep, explore, fuzz, replay, or auto",
                       file=sys.stderr)
                 return 2
             schema = value
@@ -643,6 +730,13 @@ def main(argv):
         errors = validate_sweep_json(doc)
         if require_ok and doc.get("all_properties_held") is not True:
             errors.append("run verdict: all_properties_held is false (--require-ok)")
+    elif schema == "replay":
+        errors = validate_replay(doc)
+        rep = doc.get("replay", {}) if isinstance(doc.get("replay"), dict) else {}
+        if require_ok and rep.get("all_properties") is not True:
+            errors.append("run verdict: all_properties is false (--require-ok)")
+        if require_clean and rep.get("round_limit_hit") is not False:
+            errors.append("run verdict: round_limit_hit (--require-no-violations)")
     else:
         errors = validate_sched(doc, schema)
         counters = counters_block(doc, schema)
