@@ -1,0 +1,11 @@
+// The observability measurements: recorder-on vs recorder-off over the
+// same grid (all-in instrumentation cost vs the disabled single-pointer
+// fast path), plus the recorder-on/off digest-identity smoke. Case logic:
+// bench/cases/cases_obs.cpp; compare medians at --repeats 5.
+#include "cases/cases.hpp"
+#include "core/bench.hpp"
+
+int main(int argc, char** argv) {
+  bsm::benchcases::register_obs();
+  return bsm::core::bench_main(argc, argv);
+}

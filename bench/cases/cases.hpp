@@ -25,6 +25,7 @@ void register_oracle_cache();         // memoized solvability oracle
 void register_broadcast_kernel();     // flat tally/quorum/verify kernel
 void register_sched();                // delivery schedules + explorer
 void register_scale();                // big-n fast path: lazy views, sparse stats
+void register_obs();                  // recorder overhead + determinism identity
 
 /// Register every group (the full suite, in E-number order).
 void register_all();

@@ -1,0 +1,133 @@
+// Observability case group — the recorder's two headline claims, priced:
+//
+//   obs/recorder_off vs obs/recorder_on — the same moderate grid with no
+//   recorder installed and with a span-capturing Recorder installed. The
+//   delta between the medians is the all-in instrumentation cost (span
+//   capture, histogram updates, counter bumps) over the disabled
+//   fast path, which is a single relaxed pointer load per site.
+//
+//   obs/smoke — the determinism contract in miniature: one small grid run
+//   back-to-back recorder-off then recorder-on, folding both into the
+//   digest and failing the case unless the two folds agree bit-for-bit.
+//   (The CLI-level byte-identity contract lives in cli_contract_test.cpp;
+//   this keeps the same invariant under the bench harness's repeat
+//   cross-check.)
+//
+// Every execution installs/uninstalls via RAII so a throwing case never
+// leaks a global recorder into the next one, and uses a fresh local
+// OracleCache so the on/off pair pays identical derivation costs.
+#include <cstdint>
+#include <vector>
+
+#include "cases/cases.hpp"
+#include "cases/digest.hpp"
+#include "common/hash.hpp"
+#include "core/bench.hpp"
+#include "core/sweep.hpp"
+#include "obs/recorder.hpp"
+
+namespace bsm::benchcases {
+namespace {
+
+using namespace bsm;
+using core::BenchContext;
+using core::BenchRun;
+using net::TopologyKind;
+
+/// RAII install/uninstall of the global recorder.
+struct Installed {
+  explicit Installed(obs::Recorder& rec) { obs::install(&rec); }
+  ~Installed() { obs::install(nullptr); }
+};
+
+/// Fold a sweep into a BenchRun using only thread-count-invariant
+/// quantities (cell results in cell order — never scheduler stats).
+void fold(BenchRun& run, const std::vector<core::CellResult>& results) {
+  run.cells += results.size();
+  for (const auto& cell : results) {
+    run.digest = hash_combine(run.digest, splitmix64(cell.solvable));
+    if (cell.solvable) run.ok &= cell.ok();
+    if (!cell.outcome.has_value()) continue;
+    const auto& out = *cell.outcome;
+    run.rounds += out.rounds;
+    run.messages += out.traffic.messages;
+    run.bytes += out.traffic.bytes;
+    run.digest = digest_outcome(run.digest, out);
+  }
+}
+
+/// The overhead pair's grid: both batteries across the k=3 budget range,
+/// seed-repeated — enough engine rounds per cell that the measurement is
+/// dominated by instrumented code, not sweep setup.
+[[nodiscard]] std::vector<core::ScenarioSpec> obs_cells(std::uint32_t k, std::uint64_t seeds) {
+  core::SweepGrid grid;
+  grid.topologies = {TopologyKind::FullyConnected};
+  grid.auths = {true};
+  grid.ks = {k};
+  grid.batteries = {core::Battery::Silent, core::Battery::Liars};
+  grid.seeds.clear();
+  for (std::uint64_t s = 1; s <= seeds; ++s) grid.seeds.push_back(s);
+  return grid.cells();
+}
+
+/// One fold of the grid, optionally under a span-capturing recorder.
+[[nodiscard]] BenchRun run_grid(const BenchContext& ctx, std::uint32_t k, std::uint64_t seeds,
+                                bool with_recorder) {
+  const auto cells = obs_cells(k, seeds);
+  core::OracleCache cache;  // fresh per execution: identical derivation cost on and off
+  core::SweepOptions opts;
+  opts.threads = ctx.threads;
+  opts.oracle = &cache;
+  BenchRun run;
+  if (with_recorder) {
+    obs::Recorder rec({.capture_spans = true});
+    Installed guard(rec);
+    fold(run, core::run_sweep(cells, opts));
+    // The recorder saw every cell and captured real spans without drops.
+    run.ok &= rec.counter_total(obs::Counter::CellsDone) == cells.size();
+    run.ok &= rec.spans_captured() > 0 && rec.spans_dropped() == 0;
+  } else {
+    fold(run, core::run_sweep(cells, opts));
+  }
+  return run;
+}
+
+/// The smoke case: recorder-off and recorder-on folds of one small grid
+/// must agree exactly; the digest commits to both.
+[[nodiscard]] BenchRun run_identity(const BenchContext& ctx) {
+  const auto cells = obs_cells(2, 3);
+  core::SweepOptions opts;
+  opts.threads = ctx.threads;
+
+  core::OracleCache off_cache;
+  opts.oracle = &off_cache;
+  BenchRun off;
+  fold(off, core::run_sweep(cells, opts));
+
+  BenchRun on;
+  {
+    obs::Recorder rec({.capture_spans = true});
+    Installed guard(rec);
+    core::OracleCache on_cache;
+    opts.oracle = &on_cache;
+    fold(on, core::run_sweep(cells, opts));
+  }
+
+  BenchRun run = on;
+  run.ok &= off.digest == on.digest && off.rounds == on.rounds &&
+            off.messages == on.messages && off.bytes == on.bytes;
+  run.digest = hash_combine(off.digest, on.digest);
+  return run;
+}
+
+}  // namespace
+
+void register_obs() {
+  core::register_bench({"obs/recorder_off",
+                        [](const BenchContext& ctx) { return run_grid(ctx, 3, 12, false); }});
+  core::register_bench({"obs/recorder_on",
+                        [](const BenchContext& ctx) { return run_grid(ctx, 3, 12, true); }});
+  core::register_bench({"obs/smoke", run_identity});
+}
+
+}  // namespace bsm::benchcases

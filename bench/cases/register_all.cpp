@@ -20,6 +20,7 @@ void register_all() {
   register_broadcast_kernel();
   register_sched();
   register_scale();
+  register_obs();
 }
 
 }  // namespace bsm::benchcases

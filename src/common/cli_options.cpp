@@ -41,10 +41,27 @@ FlagSpec value_flag(std::string name, std::string value_name, std::string help,
   return f;
 }
 
+FlagSpec optional_value_flag(std::string name, std::string value_name, std::string help,
+                             std::function<void()> set,
+                             std::function<std::optional<std::string>(const std::string&)> parse) {
+  FlagSpec f;
+  f.name = std::move(name);
+  f.value_name = std::move(value_name);
+  f.help = std::move(help);
+  f.set = std::move(set);
+  f.parse = std::move(parse);
+  return f;
+}
+
 std::string Subcommand::flag_lines() const {
   std::ostringstream out;
   for (const FlagSpec& f : flags) {
-    const std::string lhs = f.takes_value() ? f.name + " " + f.value_name : f.name;
+    std::string lhs = f.name;
+    if (f.value_optional()) {
+      lhs += "[=" + f.value_name + "]";
+    } else if (f.takes_value()) {
+      lhs += " " + f.value_name;
+    }
     append_flag_line(out, lhs, f.help);
   }
   if (!positional_name.empty()) {
@@ -76,9 +93,19 @@ ParseStatus parse_flags(const Subcommand& sub, int argc, char** argv, int first,
       std::cout << sub.help_text();
       return ParseStatus::Help;
     }
+    // "--flag=value" splits into name + inline value; value flags accept
+    // either spelling, optional-value flags require the inline one.
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        name = arg.substr(0, eq);
+        inline_value = arg.substr(eq + 1);
+      }
+    }
     const FlagSpec* spec = nullptr;
     for (const FlagSpec& f : sub.flags) {
-      if (f.name == arg) {
+      if (f.name == name) {
         spec = &f;
         break;
       }
@@ -91,7 +118,19 @@ ParseStatus parse_flags(const Subcommand& sub, int argc, char** argv, int first,
       err << "unknown " << sub.name << " argument: " << arg << " (try --help)\n";
       return ParseStatus::Error;
     }
-    if (!spec->takes_value()) {
+    if (inline_value) {
+      if (!spec->parse) {
+        err << "bad " << name << " value: " << *inline_value << " (flag takes no value)\n";
+        return ParseStatus::Error;
+      }
+      if (const auto reason = spec->parse(*inline_value)) {
+        err << "bad " << name << " value: " << *inline_value << " (" << *reason << ")\n";
+        return ParseStatus::Error;
+      }
+      continue;
+    }
+    if (spec->set) {
+      // Bare switch, or optional-value flag used bare (takes its default).
       spec->set();
       continue;
     }

@@ -26,8 +26,11 @@
 
 namespace bsm::cli {
 
-/// One flag row. A flag either takes a value (value_name non-empty,
-/// `parse` consumes it) or is a bare switch (`set` fires on sight).
+/// One flag row. A flag takes a value (value_name non-empty, `parse`
+/// consumes it, spelled `--flag V` or `--flag=V`), is a bare switch
+/// (`set` fires on sight), or — with both actions — takes an *optional*
+/// value: bare `--flag` fires `set` (the default), `--flag=V` goes
+/// through `parse`.
 struct FlagSpec {
   std::string name;        ///< including dashes, e.g. "--threads"
   std::string value_name;  ///< placeholder for help, e.g. "N"; "" = switch
@@ -41,12 +44,20 @@ struct FlagSpec {
   std::function<void()> set;
 
   [[nodiscard]] bool takes_value() const noexcept { return !value_name.empty(); }
+  [[nodiscard]] bool value_optional() const noexcept {
+    return static_cast<bool>(set) && static_cast<bool>(parse);
+  }
 };
 
 /// Row factories, so tables read as tables.
 [[nodiscard]] FlagSpec flag(std::string name, std::string help, std::function<void()> set);
 [[nodiscard]] FlagSpec value_flag(
     std::string name, std::string value_name, std::string help,
+    std::function<std::optional<std::string>(const std::string&)> parse);
+/// `--flag` alone fires `set`; `--flag=V` runs `parse`. Help renders as
+/// `--flag[=V]`.
+[[nodiscard]] FlagSpec optional_value_flag(
+    std::string name, std::string value_name, std::string help, std::function<void()> set,
     std::function<std::optional<std::string>(const std::string&)> parse);
 
 /// One subcommand: identity, help prose, and the flag table. `positional`

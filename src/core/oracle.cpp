@@ -1,6 +1,7 @@
 #include "core/oracle.hpp"
 
 #include "common/hash.hpp"
+#include "obs/recorder.hpp"
 
 namespace bsm::core {
 
@@ -93,6 +94,8 @@ std::uint64_t OracleKey::digest() const noexcept {
 
 OracleCache::Verdict OracleCache::lookup(const OracleKey& key, const BsmConfig& cfg,
                                          OracleCacheStats* counters) {
+  obs::Recorder* const rec = obs::current();
+  const std::uint64_t t0 = rec ? rec->now_ns() : 0;
   Shard& shard = shard_for(key.digest());
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
@@ -100,7 +103,12 @@ OracleCache::Verdict OracleCache::lookup(const OracleKey& key, const BsmConfig& 
     if (it != shard.entries.end()) {
       shard.hits.fetch_add(1, std::memory_order_relaxed);
       if (counters != nullptr) ++counters->hits;
-      return {it->second.solvable, it->second.protocol, /*hit=*/true};
+      Verdict verdict{it->second.solvable, it->second.protocol, /*hit=*/true};
+      if (rec != nullptr) {
+        rec->record(obs::Span::OracleHit, t0, rec->now_ns());
+        rec->count(obs::Counter::OracleHits);
+      }
+      return verdict;
     }
   }
 
@@ -121,6 +129,11 @@ OracleCache::Verdict OracleCache::lookup(const OracleKey& key, const BsmConfig& 
   if (inserted) {
     shard.inserts.fetch_add(1, std::memory_order_relaxed);
     if (counters != nullptr) ++counters->inserts;
+  }
+  if (rec != nullptr) {
+    rec->record(obs::Span::OracleMiss, t0, rec->now_ns());
+    rec->count(obs::Counter::OracleMisses);
+    if (inserted) rec->count(obs::Counter::OracleInserts);
   }
   return {entry.solvable, std::move(entry.protocol), /*hit=*/false};
 }

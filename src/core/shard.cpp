@@ -13,6 +13,7 @@
 #include "core/bench.hpp"
 #include "core/envelope.hpp"
 #include "net/topology.hpp"
+#include "obs/recorder.hpp"
 
 namespace bsm::core {
 
@@ -61,21 +62,32 @@ namespace {
 void run_blocks(const std::vector<ScenarioSpec>& cells, const StreamOptions& opts,
                 std::size_t start, std::size_t end, std::ostream& out, StreamStats& st) {
   const std::size_t every = std::max<std::size_t>(1, opts.checkpoint_every);
+  obs::Recorder* const rec = obs::current();
   std::size_t g = start;
   while (g < end) {
     const std::size_t block_end = std::min(end, (g / every + 1) * every);
     const std::vector<ScenarioSpec> block(cells.begin() + static_cast<std::ptrdiff_t>(g),
                                           cells.begin() + static_cast<std::ptrdiff_t>(block_end));
     SweepStats block_stats;
-    const auto results = run_sweep(block, opts.sweep, &block_stats);
+    SweepOptions sweep_opts = opts.sweep;
+    sweep_opts.index_base = g;  // trace spans name global cell indices
+    const auto results = run_sweep(block, sweep_opts, &block_stats);
     st.sweep.threads = std::max(st.sweep.threads, block_stats.threads);
     st.sweep.cells += block_stats.cells;
     st.sweep.chunks += block_stats.chunks;
     st.sweep.steals += block_stats.steals;
     st.sweep.oracle += block_stats.oracle;
+    const std::uint64_t emit_t0 = rec ? rec->now_ns() : 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
       const std::size_t idx = g + i;
-      if (checkpoint_due(idx, every)) out << jsonl_checkpoint_line(idx) << '\n';
+      if (checkpoint_due(idx, every)) {
+        const std::uint64_t cp_t0 = rec ? rec->now_ns() : 0;
+        out << jsonl_checkpoint_line(idx) << '\n';
+        if (rec != nullptr) {
+          rec->record(obs::Span::ShardCheckpoint, cp_t0, rec->now_ns(), idx);
+          rec->count(obs::Counter::Checkpoints);
+        }
+      }
       const std::string line = jsonl_cell_line(idx, results[i]);
       out << line << '\n';
       st.digest = hash_combine(st.digest, line_digest(line));
@@ -85,7 +97,16 @@ void run_blocks(const std::vector<ScenarioSpec>& cells, const StreamOptions& opt
         st.all_ok &= results[i].outcome->report.all();
       }
     }
+    if (rec != nullptr) {
+      rec->record(obs::Span::ShardEmit, emit_t0, rec->now_ns(), g);
+      rec->count(obs::Counter::CellsEmitted, results.size());
+    }
+    const std::uint64_t flush_t0 = rec ? rec->now_ns() : 0;
     out.flush();
+    if (rec != nullptr) {
+      rec->record(obs::Span::ShardFlush, flush_t0, rec->now_ns(), g);
+      rec->count(obs::Counter::Flushes);
+    }
     g = block_end;
   }
 }
@@ -618,6 +639,8 @@ constexpr std::uint32_t kOkvMagic = 0x31564b4f;  // "OKV1", little-endian
 std::size_t load_oracle_cache(OracleCache& cache, const std::string& dir) {
   std::error_code ec;
   if (dir.empty() || !fs::is_directory(dir, ec)) return 0;
+  obs::Recorder* const rec = obs::current();
+  const std::uint64_t t0 = rec ? rec->now_ns() : 0;
 
   std::vector<fs::path> files;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
@@ -637,6 +660,10 @@ std::size_t load_oracle_cache(OracleCache& cache, const std::string& dir) {
     std::optional<ProtocolSpec> protocol;
     if (!decode_oracle_entry(data, key, solvable, protocol)) continue;
     if (cache.preload(key, solvable, protocol)) ++loaded;
+  }
+  if (rec != nullptr) {
+    rec->record(obs::Span::OkvLoad, t0, rec->now_ns(), loaded);
+    rec->count(obs::Counter::OkvLoadedEntries, loaded);
   }
   return loaded;
 }
@@ -684,6 +711,8 @@ template <typename Op>
 std::size_t save_oracle_cache(const OracleCache& cache, const std::string& dir,
                               const SaveRetryOptions& retry) {
   if (dir.empty()) return 0;
+  obs::Recorder* const rec = obs::current();
+  const std::uint64_t t0 = rec ? rec->now_ns() : 0;
 
   // Collect under the shard locks, write after: for_each must stay cheap.
   struct Saved {
@@ -736,6 +765,10 @@ std::size_t save_oracle_cache(const OracleCache& cache, const std::string& dir,
                    << (wrote ? "rename" : "write") << " kept failing)\n";
       }
     }
+  }
+  if (rec != nullptr) {
+    rec->record(obs::Span::OkvSave, t0, rec->now_ns(), written);
+    rec->count(obs::Counter::OkvSavedEntries, written);
   }
   return written;
 }

@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/recorder.hpp"
+
 namespace bsm::core {
 
 namespace detail {
@@ -103,7 +105,13 @@ SweepStats parallel_for_workers(std::size_t count, const ForOptions& opts,
 
   if (stats.threads <= 1) {
     stats.chunks = 1;
+    obs::Recorder* const rec = obs::current();
+    const std::uint64_t t0 = rec ? rec->now_ns() : 0;
     for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    if (rec != nullptr) {
+      rec->record(obs::Span::SweepChunk, t0, rec->now_ns(), opts.index_base);
+      rec->count(obs::Counter::Chunks);
+    }
     return stats;
   }
 
@@ -133,10 +141,18 @@ SweepStats parallel_for_workers(std::size_t count, const ForOptions& opts,
     // stealing scheduler is benchmarked against (sweep/steal_skewed vs
     // sweep/static_skewed).
     stats.chunks = threads;
+    const std::size_t index_base = opts.index_base;
     for (unsigned w = 0; w < threads; ++w) {
       const auto [begin, end] = parts[w];
-      pool.emplace_back([&guarded, begin, end, w] {
+      pool.emplace_back([&guarded, begin, end, w, index_base] {
+        obs::set_thread_label(w + 1);
+        obs::Recorder* const rec = obs::current();
+        const std::uint64_t t0 = rec ? rec->now_ns() : 0;
         for (std::size_t i = begin; i < end; ++i) guarded(i, w);
+        if (rec != nullptr) {
+          rec->record(obs::Span::SweepChunk, t0, rec->now_ns(), index_base + begin);
+          rec->count(obs::Counter::Chunks);
+        }
       });
     }
   } else {
@@ -155,8 +171,11 @@ SweepStats parallel_for_workers(std::size_t count, const ForOptions& opts,
     }
     stats.chunks = total_chunks;
 
+    const std::size_t index_base = opts.index_base;
     for (unsigned w = 0; w < threads; ++w) {
-      pool.emplace_back([&deques, &guarded, &steals, threads, w] {
+      pool.emplace_back([&deques, &guarded, &steals, threads, w, index_base] {
+        obs::set_thread_label(w + 1);
+        obs::Recorder* const rec = obs::current();
         Chunk chunk;
         while (true) {
           if (deques[w].pop_front(chunk)) {
@@ -171,10 +190,21 @@ SweepStats parallel_for_workers(std::size_t count, const ForOptions& opts,
             // No work anywhere. Chunks are never re-queued, so empty
             // deques everywhere means the sweep's tail is already being
             // executed by its last holders: we are done.
-            if (!found) return;
+            if (!found) {
+              if (rec != nullptr) rec->count(obs::Counter::IdleExits);
+              return;
+            }
           }
-          if (chunk.owner != w) steals.fetch_add(1, std::memory_order_relaxed);
+          if (chunk.owner != w) {
+            steals.fetch_add(1, std::memory_order_relaxed);
+            if (rec != nullptr) rec->count(obs::Counter::Steals);
+          }
+          const std::uint64_t t0 = rec ? rec->now_ns() : 0;
           for (std::size_t i = chunk.begin; i < chunk.end; ++i) guarded(i, w);
+          if (rec != nullptr) {
+            rec->record(obs::Span::SweepChunk, t0, rec->now_ns(), index_base + chunk.begin);
+            rec->count(obs::Counter::Chunks);
+          }
         }
       });
     }
@@ -217,9 +247,15 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& cells, SweepO
   std::vector<OracleCacheStats> counters(workers);
 
   SweepStats local = detail::parallel_for_workers(
-      cells.size(), {opts.threads, opts.schedule, opts.chunk_cells},
+      cells.size(), {opts.threads, opts.schedule, opts.chunk_cells, opts.index_base},
       [&](std::size_t i, unsigned worker) {
+        obs::Recorder* const rec = obs::current();
+        const std::uint64_t t0 = rec ? rec->now_ns() : 0;
         results[i] = run_scenario(cells[i], opts.oracle, &arenas[worker], &counters[worker]);
+        if (rec != nullptr) {
+          rec->record(obs::Span::SweepCell, t0, rec->now_ns(), opts.index_base + i);
+          rec->count(obs::Counter::CellsDone);
+        }
       });
   for (const auto& c : counters) local.oracle += c;
   if (stats != nullptr) *stats = local;

@@ -68,6 +68,11 @@ struct SweepOptions {
   /// process-wide cache; nullptr runs every cell against the closed-form
   /// oracle directly (the uncached baseline).
   OracleCache* oracle = &OracleCache::global();
+
+  /// Observability only: offset added to local cell indices in recorder
+  /// spans, so sharded/blocked sweeps trace *global* cell indices. Never
+  /// affects scheduling or results.
+  std::size_t index_base = 0;
 };
 
 /// What one run_sweep() (or run_cells()) execution did, beyond its results:
@@ -91,6 +96,7 @@ struct ForOptions {
   unsigned threads = 0;
   Schedule schedule = Schedule::WorkStealing;
   std::size_t chunk_cells = 0;
+  std::size_t index_base = 0;  ///< observability-only span-arg offset
 };
 
 /// The resolved worker count `parallel_for_workers` will use for `count`
@@ -121,7 +127,7 @@ template <typename Cell, typename Fn>
                 "std::vector<bool> bits; return int instead");
   std::vector<Result> results(cells.size());
   (void)detail::parallel_for_workers(
-      cells.size(), {opts.threads, opts.schedule, opts.chunk_cells},
+      cells.size(), {opts.threads, opts.schedule, opts.chunk_cells, opts.index_base},
       [&](std::size_t i, unsigned) { results[i] = fn(cells[i]); });
   return results;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/hash.hpp"
+#include "obs/recorder.hpp"
 
 namespace bsm::net {
 
@@ -265,6 +266,11 @@ std::uint64_t Engine::view_hash(PartyId id) const {
 }
 
 void Engine::deliver_and_step() {
+  // Observability side channel: timestamps feed per-phase histograms and
+  // the optional trace only — nothing here reads the recorder back.
+  obs::Recorder* const rec = obs::current();
+  std::uint64_t t0 = rec ? rec->now_ns() : 0;
+
   // Fire scheduled corruptions that are due this round.
   for (auto it = pending_corruptions_.begin(); it != pending_corruptions_.end();) {
     if (it->second.when <= round_) {
@@ -281,8 +287,18 @@ void Engine::deliver_and_step() {
   // over fresh sends plus the carried envelopes due this round.
   if (policy_ == nullptr) {
     mailbox_.assemble(std::move(in_flight_), slots_.size());
+    if (rec != nullptr) {
+      const std::uint64_t t1 = rec->now_ns();
+      rec->record(obs::Span::EngineAssemble, t0, t1, round_);
+      t0 = t1;
+    }
   } else {
     assemble_with_policy();
+    if (rec != nullptr) {
+      const std::uint64_t t1 = rec->now_ns();
+      rec->record(obs::Span::EnginePolicy, t0, t1, round_);
+      t0 = t1;
+    }
   }
 
   // Fold delivered messages into each recipient's view digest.
@@ -296,6 +312,11 @@ void Engine::deliver_and_step() {
       if (observer_) observer_(env);
     }
     slots_[id].view = v;
+  }
+  if (rec != nullptr) {
+    const std::uint64_t t1 = rec->now_ns();
+    rec->record(obs::Span::EngineDeliver, t0, t1, round_);
+    t0 = t1;
   }
 
   // Step every installed process against its arena slice.
@@ -311,6 +332,10 @@ void Engine::deliver_and_step() {
   for (const auto& env : outgoing) stats_.note_send(env.from, env.to, round_, env.payload.size());
   scratch_ = mailbox_.recycle();
   in_flight_ = std::move(outgoing);
+  if (rec != nullptr) {
+    rec->record(obs::Span::EngineOnRound, t0, rec->now_ns(), round_);
+    rec->count(obs::Counter::EngineRounds);
+  }
   ++round_;
   ++engine_round_;
 }

@@ -1,0 +1,97 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+namespace bsm::obs {
+
+namespace {
+
+[[nodiscard]] std::string fixed1(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+[[nodiscard]] std::string eta_str(double secs) {
+  auto total = static_cast<std::uint64_t>(secs + 0.5);
+  if (total >= 3600) {
+    return std::to_string(total / 3600) + "h" + std::to_string((total % 3600) / 60) + "m";
+  }
+  if (total >= 60) return std::to_string(total / 60) + "m" + std::to_string(total % 60) + "s";
+  return std::to_string(total) + "s";
+}
+
+}  // namespace
+
+std::string render_progress_line(std::uint64_t done, std::uint64_t total, double elapsed_secs,
+                                 const char* unit, std::uint64_t steals, std::uint64_t chunks,
+                                 std::uint64_t oracle_hits, std::uint64_t oracle_misses) {
+  std::string line = "progress: " + std::to_string(done);
+  if (total > 0) {
+    const double pct = 100.0 * static_cast<double>(done) / static_cast<double>(total);
+    line += "/" + std::to_string(total) + " " + unit + " (" + fixed1(pct) + "%)";
+  } else {
+    line += " ";
+    line += unit;
+  }
+  const double rate =
+      elapsed_secs > 0.0 ? static_cast<double>(done) / elapsed_secs : 0.0;
+  line += " | " + fixed1(rate) + " " + unit + "/s";
+  if (total > done && rate > 0.0) {
+    line += " | eta " + eta_str(static_cast<double>(total - done) / rate);
+  }
+  if (chunks > 0) {
+    line += " | steals " + std::to_string(steals) + "/" + std::to_string(chunks) + " chunks";
+  }
+  const std::uint64_t lookups = oracle_hits + oracle_misses;
+  if (lookups > 0) {
+    line += " | oracle hit " +
+            fixed1(100.0 * static_cast<double>(oracle_hits) / static_cast<double>(lookups)) + "%";
+  }
+  return line;
+}
+
+void ProgressReporter::start(Recorder& rec, const ProgressOptions& opts, std::ostream& err) {
+  stop();
+  rec_ = &rec;
+  opts_ = opts;
+  err_ = &err;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+      if (cv_.wait_for(lock, std::chrono::seconds(opts_.interval_secs),
+                       [this] { return stopping_; })) {
+        break;
+      }
+      emit_line(*err_);
+    }
+  });
+}
+
+void ProgressReporter::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+  emit_line(*err_);  // final line: short runs still get one heartbeat
+}
+
+void ProgressReporter::emit_line(std::ostream& err) {
+  const double elapsed = static_cast<double>(rec_->now_ns()) / 1e9;
+  err << render_progress_line(rec_->counter_total(opts_.done), rec_->total_work(), elapsed,
+                              opts_.unit, rec_->counter_total(Counter::Steals),
+                              rec_->counter_total(Counter::Chunks),
+                              rec_->counter_total(Counter::OracleHits),
+                              rec_->counter_total(Counter::OracleMisses))
+      << "\n";
+}
+
+}  // namespace bsm::obs

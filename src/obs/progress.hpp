@@ -1,0 +1,66 @@
+// Live progress heartbeat for long runs (`--progress[=SECS]`).
+//
+// A background thread polls the Recorder's atomic counters (only the
+// counters — histograms and span buffers stay owner-private) and prints
+// one human line per interval to stderr:
+//
+//   progress: 512/1728 cells (29.6%) | 431.0 cells/s | eta 2s |
+//     steals 3/17 chunks | oracle hit 87.5%
+//
+// stderr only, never stdout: reports and JSONL streams stay
+// byte-identical with the heartbeat on. stop() prints one final line so
+// short runs still show a summary heartbeat.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/recorder.hpp"
+
+namespace bsm::obs {
+
+struct ProgressOptions {
+  std::uint64_t interval_secs = 2;          ///< seconds between heartbeat lines
+  Counter done = Counter::CellsDone;        ///< which counter is "work done"
+  const char* unit = "cells";               ///< unit word in the line
+};
+
+/// Pure renderer, unit-testable: one heartbeat line (no newline).
+/// total == 0 omits the "/total", percent, and ETA fields.
+[[nodiscard]] std::string render_progress_line(std::uint64_t done, std::uint64_t total,
+                                               double elapsed_secs, const char* unit,
+                                               std::uint64_t steals, std::uint64_t chunks,
+                                               std::uint64_t oracle_hits,
+                                               std::uint64_t oracle_misses);
+
+class ProgressReporter {
+ public:
+  ProgressReporter() = default;
+  ~ProgressReporter() { stop(); }
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Launch the heartbeat thread. The recorder must outlive stop().
+  void start(Recorder& rec, const ProgressOptions& opts, std::ostream& err);
+
+  /// Print one final line and join the thread; idempotent.
+  void stop();
+
+ private:
+  void emit_line(std::ostream& err);
+
+  Recorder* rec_ = nullptr;
+  ProgressOptions opts_;
+  std::ostream* err_ = nullptr;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+};
+
+}  // namespace bsm::obs

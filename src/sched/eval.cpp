@@ -4,12 +4,15 @@
 
 #include "common/hash.hpp"
 #include "core/runner.hpp"
+#include "obs/recorder.hpp"
 
 namespace bsm::sched::detail {
 
 Eval eval_schedule(const core::ScenarioSpec& base,
                    const std::optional<core::ProtocolSpec>& resolved, const ScheduleTrace& trace,
                    Round horizon, bool collect_menu, bool collect_prefixes) {
+  obs::Recorder* const rec = obs::current();
+  const std::uint64_t obs_t0 = rec ? rec->now_ns() : 0;
   core::ScenarioSpec scenario = base;
   scenario.sched = PolicyDesc{};
   scenario.sched.kind = PolicyDesc::Kind::Scripted;
@@ -61,6 +64,10 @@ Eval eval_schedule(const core::ScenarioSpec& base,
   std::sort(menu.begin(), menu.end());
   menu.erase(std::unique(menu.begin(), menu.end()), menu.end());
   eval.menu = std::move(menu);
+  if (rec != nullptr) {
+    rec->record(obs::Span::SchedEval, obs_t0, rec->now_ns(), eval.violated);
+    rec->count(obs::Counter::Evals);
+  }
   return eval;
 }
 

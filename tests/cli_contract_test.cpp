@@ -48,7 +48,8 @@ TEST(CliContract, HelpExitsZeroAndDocumentsEverySubcommand) {
   EXPECT_EQ(result.exit_code, 0);
   for (const char* word : {"run", "sweep", "merge", "explore", "fuzz", "bench", "--replay",
                            "--max-depth", "--max-execs", "--shard", "--resume", "--trace",
-                           "--gst", "--gst-seed", "--max-rounds"}) {
+                           "--gst", "--gst-seed", "--max-rounds", "--trace-out", "--metrics",
+                           "--progress[=SECS]"}) {
     EXPECT_NE(result.output.find(word), std::string::npos) << "help must mention " << word;
   }
 }
@@ -90,7 +91,8 @@ TEST(CliContract, BadValuesExitTwo) {
         "sweep --shard 0/4", "sweep --shard 5/4", "sweep --shard five",
         "sweep --checkpoint-every 0", "run --trace not-a-trace", "run --gst zilch",
         "run --max-rounds 2000000", "sweep --sched gst --gst 0,65", "sweep --max-rounds junk",
-        "explore --max-rounds junk", "fuzz --max-rounds junk"}) {
+        "explore --max-rounds junk", "fuzz --max-rounds junk", "sweep --progress=0",
+        "sweep --progress=soon", "fuzz --progress=", "sweep --metrics=yes"}) {
     const auto result = run_cli(args);
     EXPECT_EQ(result.exit_code, 2) << args;
   }
@@ -284,6 +286,116 @@ TEST(CliContract, ShardedSweepMergesByteIdenticalAndResumes) {
   const auto mismatch = run_cli(grid + "--out " + s1_path + " --shard 2/2 --resume");
   EXPECT_EQ(mismatch.exit_code, 2);
   fs::remove_all(dir);
+}
+
+TEST(CliContract, TraceOutUnwritablePathExitsTwo) {
+  for (const char* args :
+       {"run --k 2 --tl 0 --tr 0 --trace-out /nonexistent-dir/t.json",
+        "sweep --k 2 --trace-out /nonexistent-dir/t.json",
+        "explore --k 2 --tl 1 --tr 0 --trace-out /nonexistent-dir/t.json",
+        "fuzz --k 2 --tl 1 --tr 0 --max-execs 8 --trace-out /nonexistent-dir/t.json"}) {
+    const auto result = run_cli(args);
+    EXPECT_EQ(result.exit_code, 2) << args << "\n" << result.output;
+    EXPECT_NE(result.output.find("cannot write --trace-out file"), std::string::npos)
+        << args << "\n" << result.output;
+  }
+}
+
+TEST(CliContract, RecorderOnOutputBytesAreIdenticalOutsideMetrics) {
+  // The obs headline contract: with the recorder fully enabled, JSONL
+  // streams are byte-identical to recorder-off runs at every thread
+  // count, and the summary/inline reports differ only by the single
+  // `metrics` line. Report-level identity is pinned where the schedule
+  // shape itself is deterministic (serial, and static multi-thread —
+  // work-stealing's `steals` count is load-dependent with or without the
+  // recorder).
+  const fs::path dir = fs::temp_directory_path() / "bsm_cli_contract_obs";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string grid =
+      "sweep --topology fully --auth on --k 2 --tl 0,1,2 --tr 0,1 --seeds 2 "
+      "--battery silent,liars --checkpoint-every 4 ";
+  const std::string trace_path = (dir / "trace.json").string();
+
+  const auto strip_metrics = [](const std::string& report) {
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < report.size()) {
+      std::size_t eol = report.find('\n', pos);
+      if (eol == std::string::npos) eol = report.size() - 1;
+      const std::string line = report.substr(pos, eol - pos + 1);
+      if (line.rfind("  \"metrics\": ", 0) != 0) out += line;
+      pos = eol + 1;
+    }
+    return out;
+  };
+
+  // Report byte-identity at two thread counts with deterministic shapes.
+  for (const char* threads : {"--threads 1", "--threads 3 --schedule static"}) {
+    const auto plain = run_cli(grid + threads);
+    const auto observed = run_cli(grid + threads + " --metrics --trace-out " + trace_path);
+    EXPECT_EQ(plain.exit_code, observed.exit_code) << threads;
+    EXPECT_NE(observed.output.find("\n  \"metrics\": {\"version\": 1, "), std::string::npos)
+        << threads << "\n" << observed.output.substr(0, 400);
+    EXPECT_EQ(strip_metrics(observed.output), plain.output)
+        << threads << ": recorder-on report must be byte-identical outside metrics";
+  }
+
+  // JSONL byte-identity under work-stealing at two further thread counts.
+  const std::string plain_jsonl = (dir / "plain.jsonl").string();
+  EXPECT_EQ(run_cli(grid + "--threads 2 --out " + plain_jsonl).exit_code, 0);
+  for (const char* threads : {"--threads 3", "--threads 4"}) {
+    const std::string obs_jsonl = (dir / "obs.jsonl").string();
+    fs::remove(obs_jsonl);
+    const auto observed = run_cli(grid + threads + " --out " + obs_jsonl +
+                                  " --metrics --progress=1 --trace-out " + trace_path);
+    EXPECT_EQ(observed.exit_code, 0) << threads << "\n" << observed.output;
+    EXPECT_EQ(read_file(obs_jsonl), read_file(plain_jsonl))
+        << threads << ": recorder-on JSONL must be byte-identical to recorder-off";
+  }
+
+  // The trace written above is valid Chrome trace-event JSON covering the
+  // engine, scheduler, oracle, and shard layers, with worker tids labeled.
+  const std::string trace = read_file(trace_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0U);
+  for (const char* needle :
+       {"\"ph\": \"M\"", "\"ph\": \"X\"", "\"ph\": \"C\"", "engine/assemble", "engine/deliver",
+        "engine/on_round", "sweep/chunk", "sweep/cell", "shard/emit", "shard/checkpoint",
+        "shard/flush", "cells_done", "\"name\": \"worker-1\""}) {
+    EXPECT_NE(trace.find(needle), std::string::npos) << "trace must contain " << needle;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CliContract, ProgressHeartbeatGoesToStderrOnly) {
+  // --progress always prints at least the final summary line, on stderr.
+  const auto result = run_cli("sweep --k 2 --seeds 1 --battery silent --progress");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("progress: "), std::string::npos) << result.output;
+  // stdout alone (stderr dropped) must carry no progress lines.
+  const std::string cmd = std::string(BSM_CLI_PATH) +
+                          " sweep --k 2 --seeds 1 --battery silent --progress 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string out;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) out.append(buffer.data(), n);
+  pclose(pipe);
+  EXPECT_EQ(out.find("progress: "), std::string::npos) << out;
+}
+
+TEST(CliContract, FuzzMetricsBlockSitsAboveAllSatisfied) {
+  const auto result = run_cli(
+      "fuzz --k 2 --tl 1 --tr 1 --include-honest --max-execs 64 --threads 2 --metrics");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  const auto metrics_at = result.output.find("\n  \"metrics\": {\"version\": 1, ");
+  const auto satisfied_at = result.output.find("\"all_satisfied\": true");
+  ASSERT_NE(metrics_at, std::string::npos) << result.output;
+  ASSERT_NE(satisfied_at, std::string::npos) << result.output;
+  EXPECT_LT(metrics_at, satisfied_at);
+  EXPECT_NE(result.output.find("\"evals\": 64"), std::string::npos) << result.output;
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 // bug — please report it).
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -41,6 +42,8 @@
 #include "core/shard.hpp"
 #include "core/sweep.hpp"
 #include "matching/generators.hpp"
+#include "obs/progress.hpp"
+#include "obs/recorder.hpp"
 #include "sched/explorer.hpp"
 #include "sched/fuzz.hpp"
 #include "sched/policy.hpp"
@@ -180,6 +183,111 @@ void add_scenario_flags(cli::Subcommand& sub, core::BsmConfig& cfg, std::uint64_
       });
 }
 
+// ---------------------------------------------------- observability flags
+
+/// The obs-layer surface shared across subcommands: --trace-out (Chrome
+/// trace-event JSON), --metrics (report block), --progress (stderr
+/// heartbeat). All optional; when none is given the recorder is never
+/// created and output stays byte-identical to older builds.
+struct ObsCli {
+  std::string trace_path;
+  bool metrics = false;
+  std::uint64_t progress_secs = 0;  ///< 0 = off
+
+  [[nodiscard]] bool enabled() const {
+    return !trace_path.empty() || metrics || progress_secs > 0;
+  }
+};
+
+void add_obs_flags(cli::Subcommand& sub, ObsCli& o, bool with_metrics, bool with_progress) {
+  sub.flags.push_back(cli::value_flag(
+      "--trace-out", "FILE", "write a Chrome trace-event JSON trace (open in Perfetto)",
+      [&o](const std::string& v) -> std::optional<std::string> {
+        if (v.empty()) return "expected a file path";
+        o.trace_path = v;
+        return std::nullopt;
+      }));
+  if (with_metrics) {
+    sub.flags.push_back(cli::flag(
+        "--metrics",
+        "append a versioned metrics block (counter totals +\n"
+        "                        latency percentiles) to the JSON report",
+        [&o] { o.metrics = true; }));
+  }
+  if (with_progress) {
+    sub.flags.push_back(cli::optional_value_flag(
+        "--progress", "SECS", "heartbeat progress lines on stderr every SECS seconds (default: 2)",
+        [&o] { o.progress_secs = 2; },
+        [&o](const std::string& v) { return cli::parse_bounded(v, 1, 86400, o.progress_secs); }));
+  }
+}
+
+/// One subcommand's recorder lifetime: validate --trace-out up front,
+/// install the recorder, run the heartbeat, export on finish(). Every
+/// method is a no-op when no obs flag was given.
+class ObsSession {
+ public:
+  ObsSession() = default;
+  ~ObsSession() { finish(); }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// False = `error()` explains the unwritable --trace-out path (exit 2).
+  [[nodiscard]] bool begin(const ObsCli& o, std::uint64_t total_work, obs::Counter done,
+                           const char* unit) {
+    if (!o.enabled()) return true;
+    if (!o.trace_path.empty()) {
+      trace_out_.open(o.trace_path, std::ios::binary | std::ios::trunc);
+      if (!trace_out_) {
+        error_ = "cannot write --trace-out file: " + o.trace_path;
+        return false;
+      }
+    }
+    emit_metrics_ = o.metrics;
+    obs::Recorder::Options ropts;
+    ropts.capture_spans = !o.trace_path.empty();
+    recorder_ = std::make_unique<obs::Recorder>(ropts);
+    recorder_->set_total_work(total_work);
+    obs::install(recorder_.get());
+    if (o.progress_secs > 0) {
+      progress_.start(*recorder_, {o.progress_secs, done, unit}, std::cerr);
+    }
+    return true;
+  }
+
+  /// Stop the heartbeat, uninstall the recorder, write the trace file.
+  /// Idempotent; runs from the destructor on early-exit paths too.
+  void finish() {
+    if (recorder_ == nullptr || finished_) return;
+    finished_ = true;
+    progress_.stop();
+    obs::install(nullptr);
+    if (trace_out_.is_open()) {
+      trace_out_ << recorder_->chrome_trace_json();
+      trace_out_.close();
+    }
+  }
+
+  [[nodiscard]] bool metrics_enabled() const { return recorder_ != nullptr && emit_metrics_; }
+
+  /// The single-line metrics object; finishes the session first so the
+  /// numbers cover the whole run (including cache save/load).
+  [[nodiscard]] std::string metrics_json() {
+    finish();
+    return recorder_->metrics_json();
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::unique_ptr<obs::Recorder> recorder_;
+  obs::ProgressReporter progress_;
+  std::ofstream trace_out_;
+  std::string error_;
+  bool emit_metrics_ = false;
+  bool finished_ = false;
+};
+
 // ------------------------------------------------------------- sweep mode
 
 /// Everything the sweep flag table binds to.
@@ -199,6 +307,8 @@ struct SweepCli {
   bool resume = false;
   std::string oracle_dir;
   std::uint64_t checkpoint_every = 64;
+
+  ObsCli obs;
 };
 
 [[nodiscard]] cli::Subcommand sweep_subcommand(SweepCli& o) {
@@ -361,6 +471,7 @@ struct SweepCli {
   sub.flags.push_back(bounded_flag(
       "--checkpoint-every", "N", "JSONL checkpoint period in cells (default: 64)", 1, 1'000'000,
       [&o](std::uint64_t n) { o.checkpoint_every = n; }));
+  add_obs_flags(sub, o.obs, /*with_metrics=*/true, /*with_progress=*/true);
   return sub;
 }
 
@@ -393,6 +504,16 @@ int run_sweep_command(int argc, char** argv) {
                               : core::schedule_axis(o.sched_base, o.sched_seeds);
   const auto cells = o.grid.cells();
 
+  ObsSession obs_session;
+  {
+    const auto [obs_begin, obs_end] = o.shard.range(cells.size());
+    const std::uint64_t total = o.out_path.empty() ? cells.size() : obs_end - obs_begin;
+    if (!obs_session.begin(o.obs, total, obs::Counter::CellsDone, "cells")) {
+      std::cerr << "sweep: " << obs_session.error() << "\n";
+      return 2;
+    }
+  }
+
   std::size_t oracle_loaded = 0;
   if (!o.oracle_dir.empty()) {
     oracle_loaded = core::load_oracle_cache(core::OracleCache::global(), o.oracle_dir);
@@ -414,6 +535,11 @@ int run_sweep_command(int argc, char** argv) {
     }
     const auto& st = res.stats;
     const auto [begin, end] = o.shard.range(cells.size());
+    std::string metrics_part;
+    if (obs_session.metrics_enabled()) {
+      metrics_part = "\"metrics\": " + obs_session.metrics_json() + ",\n  ";
+    }
+    obs_session.finish();
     std::ostringstream hit_rate;
     hit_rate << st.sweep.oracle.hit_rate();
     std::cout << "{\n  " << core::envelope_json("sweep", o.opts.threads)
@@ -431,7 +557,7 @@ int run_sweep_command(int argc, char** argv) {
               << "},\n  \"oracle_cache\": {\"hits\": " << st.sweep.oracle.hits
               << ", \"misses\": " << st.sweep.oracle.misses
               << ", \"inserts\": " << st.sweep.oracle.inserts << ", \"hit_rate\": "
-              << hit_rate.str() << "},\n  \"all_properties_held\": "
+              << hit_rate.str() << "},\n  " << metrics_part << "\"all_properties_held\": "
               << (st.all_ok ? "true" : "false") << "\n}\n";
     return st.all_ok ? 0 : 1;
   }
@@ -442,6 +568,11 @@ int run_sweep_command(int argc, char** argv) {
   if (!o.oracle_dir.empty()) {
     (void)core::save_oracle_cache(core::OracleCache::global(), o.oracle_dir);
   }
+  std::string metrics_part;
+  if (obs_session.metrics_enabled()) {
+    metrics_part = "\"metrics\": " + obs_session.metrics_json() + ",\n  ";
+  }
+  obs_session.finish();
 
   bool all_ok = true;
   std::size_t ran = 0;
@@ -462,8 +593,8 @@ int run_sweep_command(int argc, char** argv) {
             << ", \"chunks\": " << stats.chunks << ", \"steals\": " << stats.steals
             << "},\n  \"oracle_cache\": {\"hits\": " << stats.oracle.hits
             << ", \"misses\": " << stats.oracle.misses << ", \"inserts\": " << stats.oracle.inserts
-            << ", \"hit_rate\": " << hit_rate.str()
-            << "},\n  \"all_properties_held\": " << (all_ok ? "true" : "false") << "\n}\n";
+            << ", \"hit_rate\": " << hit_rate.str() << "},\n  " << metrics_part
+            << "\"all_properties_held\": " << (all_ok ? "true" : "false") << "\n}\n";
   return all_ok ? 0 : 1;
 }
 
@@ -605,6 +736,7 @@ struct ExploreCli {
   sched::ExplorerOptions opts;
   Round max_rounds = 0;
   std::optional<std::string> replay;
+  ObsCli obs;
 };
 
 [[nodiscard]] cli::Subcommand explore_subcommand(ExploreCli& o) {
@@ -653,6 +785,7 @@ struct ExploreCli {
         o.replay = v;
         return std::nullopt;
       }));
+  add_obs_flags(sub, o.obs, /*with_metrics=*/true, /*with_progress=*/false);
   return sub;
 }
 
@@ -678,11 +811,24 @@ int run_explore_command(int argc, char** argv) {
   o.scenario.pki_seed = o.seed + 1;
   core::apply_battery(o.scenario, o.battery, o.seed);
 
+  ObsSession obs_session;
+  if (!obs_session.begin(o.obs, 0, obs::Counter::Evals, "execs")) {
+    std::cerr << "explore: " << obs_session.error() << "\n";
+    return 2;
+  }
+
   if (o.replay.has_value()) {
+    // Replay output is contractually a pure function of (scenario, trace):
+    // the trace file is still written, but no metrics block is added.
     return run_replay(o.scenario, o.opts.horizon, o.max_rounds, *o.replay);
   }
 
   const auto report = sched::explore(o.scenario, o.opts);
+  std::string metrics_part;
+  if (obs_session.metrics_enabled()) {
+    metrics_part = "\"metrics\": " + obs_session.metrics_json() + ",\n  ";
+  }
+  obs_session.finish();
 
   std::cout << "{\n  " << core::envelope_json("explore", o.opts.threads) << ",\n  "
             << scenario_json(o.scenario, o.seed, o.battery) << ",\n";
@@ -698,7 +844,8 @@ int run_explore_command(int argc, char** argv) {
             << ", \"pruned\": " << report.pruned << ", \"violations\": " << report.violations
             << ", \"depth_reached\": " << report.depth_reached
             << ", \"truncated\": " << (report.truncated ? "true" : "false") << "},\n";
-  std::cout << "  \"all_satisfied\": " << (report.all_satisfied() ? "true" : "false") << ",\n";
+  std::cout << "  " << metrics_part << "\"all_satisfied\": "
+            << (report.all_satisfied() ? "true" : "false") << ",\n";
   if (report.counterexample.has_value()) {
     std::cout << "  \"counterexample\": {\"trace\": \""
               << json_escape(report.counterexample->serialize())
@@ -721,6 +868,7 @@ struct FuzzCli {
   sched::FuzzerOptions opts;
   Round max_rounds = 0;
   std::optional<std::string> replay;
+  ObsCli obs;
 };
 
 [[nodiscard]] cli::Subcommand fuzz_subcommand(FuzzCli& o) {
@@ -787,6 +935,7 @@ struct FuzzCli {
         o.replay = v;
         return std::nullopt;
       }));
+  add_obs_flags(sub, o.obs, /*with_metrics=*/true, /*with_progress=*/true);
   return sub;
 }
 
@@ -813,12 +962,26 @@ int run_fuzz_command(int argc, char** argv) {
   o.scenario.pki_seed = o.seed + 1;
   core::apply_battery(o.scenario, o.battery, o.seed);
 
+  ObsSession obs_session;
+  if (!obs_session.begin(o.obs, o.replay.has_value() ? 0 : o.opts.max_execs, obs::Counter::Evals,
+                         "execs")) {
+    std::cerr << "fuzz: " << obs_session.error() << "\n";
+    return 2;
+  }
+
   if (o.replay.has_value()) {
+    // Replay output is contractually a pure function of (scenario, trace):
+    // the trace file is still written, but no metrics block is added.
     return run_replay(o.scenario, o.opts.horizon, o.max_rounds, *o.replay);
   }
 
   sched::Fuzzer fuzzer(o.scenario, o.opts);
   const auto report = fuzzer.run();
+  std::string metrics_part;
+  if (obs_session.metrics_enabled()) {
+    metrics_part = "\"metrics\": " + obs_session.metrics_json() + ",\n  ";
+  }
+  obs_session.finish();
 
   // The fuzz envelope deliberately omits `threads`: the report is
   // contractually bit-identical across thread counts (the same exception
@@ -842,7 +1005,8 @@ int run_fuzz_command(int argc, char** argv) {
             << ", \"corpus_saved\": " << report.corpus_saved
             << ", \"coverage\": " << report.coverage << ", \"interesting\": " << report.interesting
             << ", \"violations\": " << report.violations << "},\n";
-  std::cout << "  \"all_satisfied\": " << (report.all_satisfied() ? "true" : "false") << ",\n";
+  std::cout << "  " << metrics_part << "\"all_satisfied\": "
+            << (report.all_satisfied() ? "true" : "false") << ",\n";
   if (report.counterexample.has_value()) {
     std::cout << "  \"counterexample\": {\"trace\": \""
               << json_escape(report.counterexample->serialize())
@@ -867,6 +1031,7 @@ struct RunCli {
   std::optional<Round> gst;          ///< --gst: eventual-synchrony schedule
   std::uint64_t gst_seed = 1;
   Round max_rounds = 0;
+  ObsCli obs;
 };
 
 [[nodiscard]] cli::Subcommand run_subcommand(RunCli& o) {
@@ -925,6 +1090,7 @@ struct RunCli {
                    0, 1'000'000, [&o](std::uint64_t n) { o.max_rounds = static_cast<Round>(n); }),
       cli::flag("--verbose", "print preference lists too", [&o] { o.verbose = true; }),
   };
+  add_obs_flags(sub, o.obs, /*with_metrics=*/false, /*with_progress=*/false);
   return sub;
 }
 
@@ -965,6 +1131,11 @@ int run_run_command(int argc, char** argv, int first) {
   }
   if (opt.trace.has_value() && opt.gst.has_value()) {
     std::cerr << "run: --trace and --gst are mutually exclusive (try --help)\n";
+    return 2;
+  }
+  ObsSession obs_session;
+  if (!obs_session.begin(opt.obs, 0, obs::Counter::CellsDone, "cells")) {
+    std::cerr << "run: " << obs_session.error() << "\n";
     return 2;
   }
 

@@ -26,7 +26,7 @@ and runs the threshold as a separate advisory step. Exit status:
 import json
 import sys
 
-from validate_bench_json import validate
+from validate_json import validate_bench as validate
 
 THRESHOLD_DEFAULT = 10.0  # flag deltas beyond +/-10% with a marker
 
@@ -88,6 +88,10 @@ def render_text(rows, added, removed, base, cur):
         out.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
         for r in rows:
             out.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    else:
+        # A disjoint pair (e.g. a renamed suite vs an old seed) must still
+        # say so explicitly — an empty table reads as "nothing to report".
+        out.append("no comparable cases: the two files share no case names")
     if added:
         # New bench groups/cases land here: name them all (capped) so a new
         # group is visible in the diff, not silently absorbed.
@@ -111,6 +115,9 @@ def render_markdown(rows, added, removed, base, cur):
            "|---|---:|---:|---:|---|---|---|"]
     for r in rows:
         out.append("| " + " | ".join(("`" + r[0] + "`",) + r[1:]) + " |")
+    if not rows:
+        out.append("| _no comparable cases — the two files share no case names_ "
+                   "| | | | | | |")
     if added:
         out.append("")
         out.append(f"**Added cases ({len(added)}, no baseline):** "

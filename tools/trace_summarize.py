@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace-event JSON file from `bsm_cli ... --trace-out`.
+
+Usage: trace_summarize.py TRACE.json [--top N]
+
+Reads the {"traceEvents": [...]} document the observability recorder
+writes (docs/OBSERVABILITY.md) and prints three tables:
+
+  1. Per-phase breakdown — for every span name (engine/assemble,
+     sweep/cell, oracle/miss, ...): event count, total wall time, mean,
+     and max. Total is summed across workers, so on an N-thread run it
+     can exceed the run's wall clock — it is CPU time attributed to the
+     phase, not elapsed time.
+  2. Per-worker busy time — for every named thread row: events and the
+     summed duration of its top-level spans, flagging load imbalance
+     across sweep workers at a glance.
+  3. Top-N slowest cells — the longest sweep/cell spans, with the cell's
+     global grid index (the span's arg) and owning worker. These are the
+     cells to look at first when a sweep is slow. --top N (default 5).
+
+Exit status: 0 on success, 1 when the file is missing or not a valid
+trace document, 2 on a usage error.
+"""
+import json
+import sys
+
+
+def fmt_ms(us):
+    return f"{us / 1000.0:.3f}"
+
+
+def table(rows, header):
+    widths = [len(h) for h in header]
+    for r in rows:
+        widths = [max(w, len(v)) for w, v in zip(widths, r)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for r in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def main(argv):
+    top_n = 5
+    paths = []
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--top":
+            value = next(it, None)
+            if value is None or not value.isdigit() or int(value) < 1:
+                print("--top needs a positive integer", file=sys.stderr)
+                return 2
+            top_n = int(value)
+        elif a.startswith("--"):
+            print(f"unknown flag: {a}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = paths[0]
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {path}: {e}", file=sys.stderr)
+        return 1
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"FAIL: {path}: no traceEvents array — not a Chrome trace "
+              "document", file=sys.stderr)
+        return 1
+
+    thread_names = {}
+    phases = {}  # name -> [count, total_us, max_us]
+    workers = {}  # tid -> [events, busy_us]
+    cells = []  # (dur_us, arg, tid)
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "thread_name":
+            thread_names[ev.get("tid")] = ev.get("args", {}).get("name", "?")
+        elif ph == "X":
+            name = ev.get("name", "?")
+            dur = ev.get("dur", 0)
+            if not isinstance(dur, (int, float)):
+                continue
+            p = phases.setdefault(name, [0, 0.0, 0.0])
+            p[0] += 1
+            p[1] += dur
+            p[2] = max(p[2], dur)
+            w = workers.setdefault(ev.get("tid"), [0, 0.0, 0.0])
+            w[0] += 1
+            # Busy time counts only outermost spans: chunks own their cells
+            # (and cells own their engine phases), so summing every span
+            # would bill the same wall time up to three times. Threads with
+            # no chunk/eval spans (e.g. `run --trace-out`) fall back to the
+            # engine-phase sum.
+            if name in ("sweep/chunk", "sched/eval"):
+                w[1] += dur
+            elif name.startswith("engine/"):
+                w[2] += dur
+            if name == "sweep/cell":
+                cells.append((dur, ev.get("args", {}).get("arg"), ev.get("tid")))
+
+    if not phases:
+        print(f"{path}: no complete ('X') events — the run captured no spans")
+        return 0
+
+    print(f"{path}: {sum(p[0] for p in phases.values())} span(s), "
+          f"{len(workers)} thread(s)")
+    print()
+    rows = [(name, str(p[0]), fmt_ms(p[1]), fmt_ms(p[1] / p[0]), fmt_ms(p[2]))
+            for name, p in sorted(phases.items(), key=lambda kv: -kv[1][1])]
+    print(table(rows, ("phase", "count", "total ms", "mean ms", "max ms")))
+    print()
+
+    rows = []
+    for tid in sorted(workers, key=lambda t: (t is None, t)):
+        ev_count, chunk_busy, engine_busy = workers[tid]
+        busy = chunk_busy if chunk_busy > 0 else engine_busy
+        rows.append((thread_names.get(tid, f"tid {tid}"), str(ev_count),
+                     fmt_ms(busy)))
+    print(table(rows, ("thread", "events", "busy ms (outermost spans)")))
+
+    if cells:
+        print()
+        rows = [(str(arg), fmt_ms(dur), thread_names.get(tid, f"tid {tid}"))
+                for dur, arg, tid in
+                sorted(cells, key=lambda c: -c[0])[:top_n]]
+        print(table(rows, ("slowest cells (grid index)", "ms", "worker")))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        sys.exit(0)

@@ -4,6 +4,7 @@
 Usage: validate_json.py PATH [--schema bench|sweep|explore|fuzz|replay|auto]
                              [--require-ok] [--require-cases N]
                              [--require-no-violations] [--min-execs N]
+                             [--require-metrics]
 
 Since schema v2 every report leads with the shared envelope
 (schema_version, subcommand, git_sha, and — where the document is not
@@ -28,6 +29,8 @@ Predicates (each only meaningful for the schema that defines it):
   --require-no-violations  explore/fuzz: zero property violations;
                            replay: no round_limit_hit
   --min-execs N            explore/fuzz: the search spent >= N runs
+  --require-metrics        sweep/explore/fuzz: the optional `metrics` block
+                           (from --metrics / --trace-out) must be present
 
 Exits 0 when the document is schema-valid and every requested predicate
 holds. Prints every violation found, not just the first.
@@ -173,6 +176,79 @@ def validate_bench(doc):
     return errors
 
 
+# ---------------------------------------------------------------- metrics
+
+# The observability recorder's versioned report block (docs/OBSERVABILITY.md),
+# optionally present on sweep/explore/fuzz reports when the run enabled
+# --metrics or --trace-out. Keys are pinned against src/obs/recorder.cpp.
+METRICS_VERSION = 1
+
+METRICS_COUNTER_KEYS = (
+    "engine_rounds", "cells_done", "chunks", "steals", "idle_exits",
+    "oracle_hits", "oracle_misses", "oracle_inserts", "cells_emitted",
+    "checkpoints", "flushes", "okv_saved_entries", "okv_loaded_entries",
+    "evals",
+)
+
+METRICS_SPAN_KEYS = (
+    "engine_assemble", "engine_policy", "engine_deliver", "engine_on_round",
+    "sweep_chunk", "sweep_cell", "oracle_hit", "oracle_miss", "shard_emit",
+    "shard_checkpoint", "shard_flush", "okv_save", "okv_load", "sched_eval",
+)
+
+METRICS_TOP_FIELDS = {
+    "version": int,
+    "spans": int,
+    "spans_dropped": int,
+    "counters": dict,
+    "histograms": dict,
+}
+
+METRICS_HIST_FIELDS = {
+    "count": int,
+    "p50_ns": int,
+    "p90_ns": int,
+    "p99_ns": int,
+    "max_ns": int,
+}
+
+
+def validate_metrics(doc, errors):
+    """Validate the optional top-level `metrics` block when present."""
+    metrics = doc.get("metrics")
+    if metrics is None:
+        return
+    check_fields(metrics, METRICS_TOP_FIELDS, "metrics", errors)
+    if not isinstance(metrics, dict):
+        return
+    if metrics.get("version") != METRICS_VERSION:
+        errors.append(f"metrics: version {metrics.get('version')!r}, "
+                      f"expected {METRICS_VERSION}")
+    counters = metrics.get("counters", {})
+    check_fields(counters, {k: int for k in METRICS_COUNTER_KEYS},
+                 "metrics.counters", errors)
+    hists = metrics.get("histograms", {})
+    if isinstance(hists, dict):
+        for key in METRICS_SPAN_KEYS:
+            if key not in hists:
+                errors.append(f"metrics.histograms: missing span '{key}'")
+                continue
+            where = f"metrics.histograms.{key}"
+            check_fields(hists[key], METRICS_HIST_FIELDS, where, errors)
+            h = hists[key]
+            if isinstance(h, dict) and all(
+                    isinstance(h.get(f), int) and not isinstance(h.get(f), bool)
+                    for f in METRICS_HIST_FIELDS):
+                if not h["p50_ns"] <= h["p90_ns"] <= h["p99_ns"] <= h["max_ns"]:
+                    errors.append(f"{where}: percentiles must be non-decreasing "
+                                  "up to max_ns")
+                if h["count"] == 0 and h["max_ns"] != 0:
+                    errors.append(f"{where}: an empty histogram must report 0 ns")
+        for key in hists:
+            if key not in METRICS_SPAN_KEYS:
+                errors.append(f"metrics.histograms: unknown span '{key}'")
+
+
 # ------------------------------------------------------------------ sweep
 
 SCHEDULER_FIELDS = {"threads": int, "chunks": int, "steals": int}
@@ -293,7 +369,8 @@ def validate_sweep_json(doc):
     type of `cells`: the inline document carries the per-cell array)."""
     errors = []
     if isinstance(doc.get("cells"), list):
-        check_fields(doc, SWEEP_INLINE_FIELDS, "top level", errors)
+        check_fields(doc, SWEEP_INLINE_FIELDS, "top level", errors,
+                     extra_ok=("metrics",))
         check_envelope(doc, "sweep", "top level", errors)
         cells = doc["cells"]
         if isinstance(doc.get("total_cells"), int) and doc["total_cells"] != len(cells):
@@ -306,7 +383,8 @@ def validate_sweep_json(doc):
                 doc["all_properties_held"] != all_ok:
             errors.append("top level: all_properties_held disagrees with the cells")
     else:
-        check_fields(doc, SWEEP_SUMMARY_FIELDS, "top level", errors)
+        check_fields(doc, SWEEP_SUMMARY_FIELDS, "top level", errors,
+                     extra_ok=("metrics",))
         check_envelope(doc, "sweep", "top level", errors)
         grid = doc.get("grid_digest")
         if isinstance(grid, str) and not DIGEST_RE.match(grid):
@@ -324,6 +402,7 @@ def validate_sweep_json(doc):
             errors.append(f"top level: cells {doc['cells']} != end - begin {end - begin}")
     check_fields(doc.get("scheduler", {}), SCHEDULER_FIELDS, "scheduler", errors)
     check_fields(doc.get("oracle_cache", {}), ORACLE_FIELDS, "oracle_cache", errors)
+    validate_metrics(doc, errors)
     return errors
 
 
@@ -533,7 +612,8 @@ def validate_sched(doc, schema):
     errors = []
     counters_key = "fuzz" if schema == "fuzz" else "schedules"
     top = set(ENVELOPE_FIELDS) | {
-        "scenario", "options", counters_key, "all_satisfied", "counterexample"}
+        "scenario", "options", counters_key, "all_satisfied", "counterexample",
+        "metrics"}
     if schema == "explore":
         top.add("threads")
     for key in ("scenario", "options", counters_key, "all_satisfied", "counterexample"):
@@ -590,6 +670,7 @@ def validate_sched(doc, schema):
     if isinstance(doc.get("all_satisfied"), bool) and doc["all_satisfied"] \
             and counterexample is not None:
         errors.append("top level: a satisfied search must not carry a counterexample")
+    validate_metrics(doc, errors)
     return errors
 
 
@@ -646,6 +727,7 @@ def main(argv):
     require_ok = False
     require_cases = 0
     require_clean = False
+    require_metrics = False
     min_execs = None
     schema = "auto"
     args = []
@@ -661,6 +743,8 @@ def main(argv):
             require_cases = int(value)
         elif a == "--require-no-violations":
             require_clean = True
+        elif a == "--require-metrics":
+            require_metrics = True
         elif a == "--min-execs":
             value = next(it, None)
             if value is None or not value.isdigit():
@@ -698,6 +782,11 @@ def main(argv):
                   f"not '{schema}'", file=sys.stderr)
             return 1
         errors = validate_sweep_jsonl(text, path)
+        if require_metrics:
+            # The JSONL stream is contractually recorder-free: metrics land
+            # only in the envelope report, never in the shard document.
+            errors.append("run verdict: a JSONL shard document never carries "
+                          "metrics (--require-metrics)")
         for e in errors:
             print(f"FAIL: {e}", file=sys.stderr)
         if errors:
@@ -747,6 +836,14 @@ def main(argv):
             if not isinstance(ran, int) or ran < min_execs:
                 errors.append(f"run verdict: ran {ran} schedule(s), "
                               f"need >= {min_execs} (--min-execs)")
+
+    if require_metrics:
+        if schema not in ("sweep", "explore", "fuzz"):
+            errors.append(f"run verdict: schema '{schema}' never carries "
+                          "metrics (--require-metrics)")
+        elif not isinstance(doc.get("metrics"), dict):
+            errors.append("run verdict: no metrics block — run with --metrics "
+                          "or --trace-out (--require-metrics)")
 
     for e in errors:
         print(f"FAIL: {e}", file=sys.stderr)
